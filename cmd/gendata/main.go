@@ -1,0 +1,45 @@
+// Command gendata generates and labels a training corpus and writes it
+// to a gob file — step 1 of the paper's Figure 3 pipeline as a
+// standalone tool, so label collection (the expensive step on real
+// hardware) can be reused across training runs.
+//
+//	gendata -platform titanlike -count 2000 -out gpu.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+)
+
+func main() {
+	platform := flag.String("platform", "xeonlike", "target platform: xeonlike, a8like, titanlike")
+	count := flag.Int("count", 1000, "number of matrices")
+	maxN := flag.Int("maxn", 2048, "matrix dimension bound")
+	seed := flag.Int64("seed", 1, "random seed")
+	noise := flag.Float64("noise", 0.03, "relative measurement noise sigma")
+	out := flag.String("out", "dataset.gob", "output file")
+	flag.Parse()
+
+	p, err := machine.PlatformByName(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	lab := machine.NewLabeler(p, *seed)
+	lab.NoiseSigma = *noise
+	d := dataset.Generate(dataset.Config{Count: *count, Seed: *seed, MaxN: *maxN}, lab)
+	counts := d.ClassCounts()
+	fmt.Printf("labelled %d matrices on %s\n", len(d.Records), p)
+	for i, f := range d.Formats {
+		fmt.Printf("  %-5s %6d\n", f, counts[i])
+	}
+	if err := d.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset saved to %s\n", *out)
+}

@@ -1,0 +1,81 @@
+// Command migrate ports a trained selector to a new platform with
+// transfer learning (Section 6): it loads a source model, collects a
+// (small) label budget on the target platform, retrains with the chosen
+// method, and saves the migrated model.
+//
+//	migrate -model xeon.gob -target a8like -method top -budget 200 -out a8.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/selector"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.gob", "source model file")
+	target := flag.String("target", "a8like", "target platform: xeonlike, a8like, titanlike")
+	method := flag.String("method", "top", "migration method: scratch, continuous, top")
+	budget := flag.Int("budget", 200, "target-platform label budget (matrices)")
+	maxN := flag.Int("maxn", 2048, "matrix dimension bound for the retraining corpus")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "migrated.gob", "output model file")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "migrate:", err)
+		os.Exit(1)
+	}
+	src, err := selector.LoadFile(*modelPath)
+	if err != nil {
+		fail(err)
+	}
+	var m selector.TransferMethod
+	switch *method {
+	case "scratch":
+		m = selector.FromScratch
+	case "continuous":
+		m = selector.ContinuousEvolvement
+	case "top":
+		m = selector.TopEvolvement
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+	p, err := machine.PlatformByName(*target)
+	if err != nil {
+		fail(err)
+	}
+	if got, want := len(p.FormatSet()), len(src.Cfg.Formats); got != want {
+		fail(fmt.Errorf("source model selects among %d formats but %s selects among %d; migrate within a platform kind",
+			want, *target, got))
+	}
+
+	fmt.Printf("collecting %d labels on %s\n", *budget, p)
+	lab := machine.NewLabeler(p, *seed)
+	d := dataset.Generate(dataset.Config{Count: *budget, Seed: *seed, MaxN: *maxN}, lab)
+
+	migrated, err := selector.Transfer(src, m)
+	if err != nil {
+		fail(err)
+	}
+	if m != selector.FromScratch {
+		migrated.Cfg.LearningRate *= 0.4 // standard fine-tuning step size
+	}
+	fmt.Printf("retraining with %s (%d epochs)\n", m, migrated.Cfg.Epochs)
+	if _, err := migrated.Train(d, nil); err != nil {
+		fail(err)
+	}
+	metrics, err := migrated.Evaluate(d, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("accuracy on the retraining corpus: %.1f%%\n", metrics.Accuracy()*100)
+	if err := migrated.SaveFile(*out); err != nil {
+		fail(err)
+	}
+	fmt.Printf("migrated model saved to %s\n", *out)
+}

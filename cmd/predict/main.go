@@ -1,0 +1,49 @@
+// Command predict chooses the best SpMV storage format for a
+// MatrixMarket file with a trained model — the artifact's
+// `spmv_model.py predict data/example.mtx` mode.
+//
+//	predict -model model.gob matrix.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.gob", "trained model file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: predict -model model.gob matrix.mtx")
+		os.Exit(2)
+	}
+	s, err := selector.LoadFile(*modelPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+	format, probs, err := core.Predict(s, flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+	fmt.Println(format)
+	type fp struct {
+		f sparse.Format
+		p float64
+	}
+	var list []fp
+	for f, p := range probs {
+		list = append(list, fp{f, p})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].p > list[j].p })
+	for _, e := range list {
+		fmt.Printf("  %-5s %.3f\n", e.f, e.p)
+	}
+}

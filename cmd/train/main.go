@@ -1,0 +1,67 @@
+// Command train builds a CNN format selector for a platform — the
+// equivalent of the paper artifact's `spmv_model.py train` mode. It
+// generates and labels a corpus, trains the selector, reports held-out
+// metrics, and saves the model (and optionally the dataset).
+//
+//	train -platform xeonlike -count 800 -epochs 40 -out model.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/represent"
+)
+
+func main() {
+	platform := flag.String("platform", "xeonlike", "target platform: xeonlike, a8like, titanlike")
+	count := flag.Int("count", 600, "number of training matrices")
+	maxN := flag.Int("maxn", 2048, "matrix dimension bound")
+	epochs := flag.Int("epochs", 40, "training epochs")
+	rep := flag.String("rep", "histogram", "representation: binary, density, histogram")
+	repSize := flag.Int("repsize", 32, "representation size")
+	repBins := flag.Int("repbins", 16, "histogram bins")
+	seed := flag.Int64("seed", 1, "random seed")
+	wall := flag.Bool("wallclock", false, "label with real kernel timings instead of the platform model")
+	out := flag.String("out", "model.gob", "output model file")
+	dataOut := flag.String("dataset", "", "optional dataset output file (gob)")
+	flag.Parse()
+
+	var kind represent.Kind
+	switch *rep {
+	case "binary":
+		kind = represent.KindBinary
+	case "density":
+		kind = represent.KindBinaryDensity
+	case "histogram":
+		kind = represent.KindHistogram
+	default:
+		fmt.Fprintf(os.Stderr, "train: unknown representation %q\n", *rep)
+		os.Exit(2)
+	}
+
+	res, err := core.Train(core.Options{
+		Platform: *platform, Count: *count, MaxN: *maxN,
+		Representation: kind, RepSize: *repSize, RepBins: *repBins,
+		Epochs: *epochs, Seed: *seed, WallClock: *wall, Log: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Metrics)
+	if err := res.Selector.SaveFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("model saved to %s\n", *out)
+	if *dataOut != "" {
+		if err := res.Dataset.Save(*dataOut); err != nil {
+			fmt.Fprintln(os.Stderr, "train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dataset saved to %s\n", *dataOut)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: train a small CNN format selector for a simulated CPU,
+// then use it to pick the storage format for new matrices.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/represent"
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+func main() {
+	// Train end to end: generate + label a corpus on the Intel-like
+	// platform (Figure 3 steps 1-4), fit the late-merging histogram CNN.
+	res, err := core.Train(core.Options{
+		Platform:       "xeonlike",
+		Count:          400,
+		MaxN:           1024,
+		Representation: represent.KindHistogram,
+		RepSize:        16, RepBins: 8,
+		Epochs: 25,
+		Seed:   1,
+		Log:    os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res.Metrics)
+
+	// Predict the best format for fresh matrices of known structure.
+	cases := []struct {
+		name string
+		m    *sparse.COO
+	}{
+		{"tridiagonal band", synthgen.Banded(2000, 1, 1.0, 99)},
+		{"uniform 8/row", synthgen.Uniform(2000, 8, 0, 99)},
+		{"random scatter", synthgen.Random(2000, 2000, 24000, 99)},
+		{"hypersparse tall", synthgen.Hypersparse(80000, 1000, 900, 99)},
+	}
+	fmt.Println("predictions for new matrices:")
+	for _, c := range cases {
+		format, probs, err := res.Selector.Predict(c.m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s -> %-4s (p=%.2f)\n", c.name, format, probs[format])
+	}
+
+	// Convert to the chosen format and run the parallel SpMV kernel.
+	chosen, format, err := core.BestFormat(res.Selector, cases[0].m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sec := machine.Measure(chosen, 0, 5)
+	fmt.Printf("\nSpMV on %s in %s: %.3g s/iteration\n", cases[0].name, format, sec)
+}

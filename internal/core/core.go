@@ -1,0 +1,178 @@
+// Package core is the end-to-end facade of the CNN-based sparse-matrix
+// format selector — the library equivalent of the paper artifact's
+// spmv_model.py train / test / predict modes. It wires the Figure 3
+// pipeline together: label collection on a (simulated or wall-clock)
+// platform, matrix normalisation, CNN construction and training, and
+// best-format prediction for new matrices.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/represent"
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+// Options configures an end-to-end training run.
+type Options struct {
+	// Platform names the target machine: "xeonlike", "a8like" or
+	// "titanlike" (Table 1). The format selection set follows the
+	// platform kind (Table 2 vs Table 3).
+	Platform string
+	// Count is the number of training matrices to generate and label.
+	Count int
+	// MaxN bounds the generated matrix dimension.
+	MaxN int
+	// Representation selects the input normalisation (default:
+	// histogram, the paper's best).
+	Representation represent.Kind
+	// RepSize / RepBins fix the representation geometry (defaults
+	// 32×16; the paper uses 128×50).
+	RepSize, RepBins int
+	// Epochs / Workers / Seed control training.
+	Epochs  int
+	Workers int
+	Seed    int64
+	// TestFraction is held out for evaluation (default 0.2).
+	TestFraction float64
+	// WallClock labels matrices by timing the real Go SpMV kernels on
+	// the host instead of the platform cost model. Slower but
+	// measurement-grounded.
+	WallClock bool
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (o *Options) defaults() {
+	if o.Platform == "" {
+		o.Platform = "xeonlike"
+	}
+	if o.Count <= 0 {
+		o.Count = 600
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 2048
+	}
+	if o.RepSize <= 0 {
+		o.RepSize = 32
+	}
+	if o.RepBins <= 0 {
+		o.RepBins = 16
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 40
+	}
+	if o.TestFraction <= 0 || o.TestFraction >= 1 {
+		o.TestFraction = 0.2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Result is a trained selector with its corpus and held-out evaluation.
+type Result struct {
+	Selector *selector.Selector
+	Dataset  *dataset.Dataset
+	Train    []int
+	Test     []int
+	Metrics  *selector.Metrics
+}
+
+// Train runs the full Figure 3 construction pipeline: generate and
+// label a corpus for the platform, train the CNN selector, and evaluate
+// it on a held-out split.
+func Train(o Options) (*Result, error) {
+	o.defaults()
+	p, err := machine.PlatformByName(o.Platform)
+	if err != nil {
+		return nil, err
+	}
+	lab := machine.NewLabeler(p, o.Seed)
+	o.logf("step 1: generating and labelling %d matrices on %s", o.Count, p)
+	d := dataset.Generate(dataset.Config{Count: o.Count, Seed: o.Seed, MaxN: o.MaxN, Workers: o.Workers}, lab)
+	if o.WallClock {
+		o.logf("        relabelling with wall-clock kernel timings")
+		if err := relabelWallClock(d, o.Workers); err != nil {
+			return nil, err
+		}
+	}
+	counts := d.ClassCounts()
+	for i, f := range d.Formats {
+		o.logf("        %-5s %d", f, counts[i])
+	}
+
+	cfg := selector.DefaultConfig(o.Representation, d.Formats)
+	cfg.Represent.Size = o.RepSize
+	cfg.Represent.Bins = o.RepBins
+	cfg.Epochs = o.Epochs
+	cfg.Workers = o.Workers
+	cfg.Seed = o.Seed
+	o.logf("step 2+3: %s representation (%dx%d), late-merging CNN", cfg.Represent.Kind, o.RepSize, o.RepBins)
+	s, err := selector.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	trainIdx, testIdx := d.Split(o.TestFraction, o.Seed+7)
+	o.logf("step 4: training on %d matrices (%d epochs)", len(trainIdx), o.Epochs)
+	losses, err := s.Train(d, trainIdx)
+	if err != nil {
+		return nil, err
+	}
+	o.logf("        loss %.3f -> %.3f", losses[0], losses[len(losses)-1])
+	m, err := s.Evaluate(d, testIdx)
+	if err != nil {
+		return nil, err
+	}
+	o.logf("held-out accuracy: %.1f%%", m.Accuracy()*100)
+	return &Result{Selector: s, Dataset: d, Train: trainIdx, Test: testIdx, Metrics: m}, nil
+}
+
+// relabelWallClock replaces each record's label and times with wall-
+// clock measurements of the Go kernels.
+func relabelWallClock(d *dataset.Dataset, workers int) error {
+	for i := range d.Records {
+		r := &d.Records[i]
+		label, times, err := machine.MeasureLabel(r.Matrix(), d.Formats, workers, 3)
+		if err != nil {
+			return err
+		}
+		r.Label = label
+		r.Times = times
+	}
+	return nil
+}
+
+// Predict loads a MatrixMarket file and returns the model's chosen
+// format with per-format probabilities.
+func Predict(s *selector.Selector, mtxPath string) (sparse.Format, map[sparse.Format]float64, error) {
+	m, err := sparse.ReadMatrixMarketFile(mtxPath)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.Predict(m)
+}
+
+// BestFormat converts m to the selector's predicted best format, ready
+// for repeated SpMV use.
+func BestFormat(s *selector.Selector, m *sparse.COO) (sparse.Matrix, sparse.Format, error) {
+	f, _, err := s.Predict(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := sparse.Convert(m, f)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, f, nil
+}

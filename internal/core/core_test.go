@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/represent"
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+func tinyOptions() Options {
+	return Options{
+		Platform: "xeonlike", Count: 120, MaxN: 512,
+		Representation: represent.KindHistogram,
+		RepSize:        16, RepBins: 8,
+		Epochs: 8, Seed: 2,
+	}
+}
+
+func TestTrainEndToEnd(t *testing.T) {
+	var log bytes.Buffer
+	o := tinyOptions()
+	o.Log = &log
+	res, err := Train(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Total() == 0 || res.Selector == nil || len(res.Train) == 0 {
+		t.Fatal("incomplete result")
+	}
+	if !strings.Contains(log.String(), "step 4") {
+		t.Fatal("missing progress log")
+	}
+	// Prediction path.
+	m := synthgen.Banded(512, 1, 1.0, 5)
+	f, probs, err := res.Selector.Predict(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := probs[f]; !ok {
+		t.Fatal("prediction not in probability map")
+	}
+	// BestFormat converts to the prediction.
+	conv, cf, err := BestFormat(res.Selector, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Format() != cf {
+		t.Fatal("BestFormat format mismatch")
+	}
+	if !conv.ToCOO().Equal(m) {
+		t.Fatal("BestFormat changed the matrix")
+	}
+}
+
+func TestTrainUnknownPlatform(t *testing.T) {
+	o := tinyOptions()
+	o.Platform = "nope"
+	if _, err := Train(o); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestTrainWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock labelling is slow")
+	}
+	o := tinyOptions()
+	o.Count = 40
+	o.MaxN = 256
+	o.Epochs = 3
+	o.WallClock = true
+	res, err := Train(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock labels must be real times.
+	for _, r := range res.Dataset.Records[:5] {
+		if r.Times[r.Label] <= 0 {
+			t.Fatal("non-positive measured time")
+		}
+	}
+}
+
+func TestPredictFromFile(t *testing.T) {
+	o := tinyOptions()
+	o.Count = 60
+	o.Epochs = 3
+	res, err := Train(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := sparse.WriteMatrixMarketFile(path, synthgen.Uniform(300, 6, 0, 9)); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := Predict(res.Selector, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range sparse.CPUFormats() {
+		if g == f {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("prediction %v outside CPU set", f)
+	}
+	if _, _, err := Predict(res.Selector, "/nonexistent.mtx"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGPUPlatformTrains(t *testing.T) {
+	o := tinyOptions()
+	o.Platform = "titanlike"
+	o.Count = 80
+	o.Epochs = 3
+	res, err := Train(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dataset.Formats) != 6 {
+		t.Fatalf("GPU formats: %v", res.Dataset.Formats)
+	}
+}

@@ -1,0 +1,85 @@
+package dtree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Forest is a bagged ensemble of CART trees with per-split feature
+// subsampling (a random forest). The baseline papers use single trees;
+// the forest is provided as the natural strengthening of the baseline
+// (listed under future work in the auto-tuning literature) and is used
+// by the ablation benchmarks.
+type Forest struct {
+	Trees      []*Tree
+	NumClasses int
+}
+
+// ForestConfig controls ensemble growth.
+type ForestConfig struct {
+	Trees      int
+	Tree       Config
+	SampleFrac float64 // bootstrap fraction per tree (default 1.0)
+	Seed       int64
+}
+
+// DefaultForestConfig is a 25-tree forest over the default CART
+// configuration.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{Trees: 25, Tree: DefaultConfig(), SampleFrac: 1.0, Seed: 1}
+}
+
+// TrainForest grows a bagged forest.
+func TrainForest(X [][]float64, y []int, numClasses int, cfg ForestConfig) (*Forest, error) {
+	if cfg.Trees <= 0 {
+		cfg.Trees = DefaultForestConfig().Trees
+	}
+	if cfg.SampleFrac <= 0 || cfg.SampleFrac > 1 {
+		cfg.SampleFrac = 1
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("dtree: bad training set: %d samples, %d labels", len(X), len(y))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{NumClasses: numClasses}
+	n := int(float64(len(X)) * cfg.SampleFrac)
+	if n < 1 {
+		n = 1
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(len(X))
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree, err := Train(bx, by, numClasses, cfg.Tree)
+		if err != nil {
+			return nil, err
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Predict classifies by majority vote.
+func (f *Forest) Predict(x []float64) int {
+	votes := make([]int, f.NumClasses)
+	for _, t := range f.Trees {
+		votes[t.Predict(x)]++
+	}
+	return argmax(votes)
+}
+
+// PredictProba returns the vote distribution.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	votes := make([]float64, f.NumClasses)
+	for _, t := range f.Trees {
+		votes[t.Predict(x)]++
+	}
+	for i := range votes {
+		votes[i] /= float64(len(f.Trees))
+	}
+	return votes
+}

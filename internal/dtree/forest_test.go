@@ -1,0 +1,110 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func xorData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b}
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestForestLearnsXOR(t *testing.T) {
+	X, y := xorData(500, 1)
+	f, err := TrainForest(X, y, 2, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := range X {
+		if f.Predict(X[i]) == y[i] {
+			hits++
+		}
+	}
+	if float64(hits)/500 < 0.93 {
+		t.Fatalf("forest accuracy %v", float64(hits)/500)
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	if _, err := TrainForest(nil, nil, 2, DefaultForestConfig()); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestForestProbaSumsToOne(t *testing.T) {
+	X, y := xorData(200, 2)
+	f, err := TrainForest(X, y, 2, ForestConfig{Trees: 9, Tree: DefaultConfig(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.PredictProba([]float64{0.9, 0.1})
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("proba sums to %v", sum)
+	}
+	if len(f.Trees) != 9 {
+		t.Fatalf("trees %d", len(f.Trees))
+	}
+}
+
+func TestForestDefaultsApplied(t *testing.T) {
+	X, y := xorData(100, 4)
+	f, err := TrainForest(X, y, 2, ForestConfig{Tree: DefaultConfig(), SampleFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != DefaultForestConfig().Trees {
+		t.Fatalf("default tree count not applied: %d", len(f.Trees))
+	}
+}
+
+// Bagging reduces variance: the forest's test accuracy should be at
+// least the single tree's on noisy data (allowing small slack).
+func TestForestAtLeastTree(t *testing.T) {
+	X, y := xorData(400, 5)
+	// Inject label noise.
+	rng := rand.New(rand.NewSource(6))
+	for i := range y {
+		if rng.Float64() < 0.15 {
+			y[i] = 1 - y[i]
+		}
+	}
+	Xt, yt := xorData(400, 7)
+	tree, err := Train(X, y, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := TrainForest(X, y, 2, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := func(pred func([]float64) int) float64 {
+		hits := 0
+		for i := range Xt {
+			if pred(Xt[i]) == yt[i] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(Xt))
+	}
+	at, af := acc(tree.Predict), acc(forest.Predict)
+	t.Logf("tree %.3f forest %.3f", at, af)
+	if af < at-0.05 {
+		t.Fatalf("forest (%.3f) clearly below single tree (%.3f)", af, at)
+	}
+}

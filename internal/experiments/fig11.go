@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/represent"
+	"repro/internal/selector"
+)
+
+// Fig11Result holds the structure comparison of Section 7.5 / Figure
+// 11: per-step cross-entropy training-loss curves for the late-merging
+// and early-merging structures on identical data.
+type Fig11Result struct {
+	LateLoss  []float64
+	EarlyLoss []float64
+}
+
+// MeanTail returns the mean of the last quarter of a loss curve — the
+// converged level the figure compares (late ≈ 0.1 vs early ≈ 0.4 in the
+// paper).
+func MeanTail(curve []float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	lo := len(curve) * 3 / 4
+	s := 0.0
+	for _, v := range curve[lo:] {
+		s += v
+	}
+	return s / float64(len(curve)-lo)
+}
+
+// RunFig11 reproduces Figure 11: train a late-merging and an
+// early-merging CNN (same representation, data, optimiser and step
+// budget) and record the loss curves.
+func RunFig11(o Options, w io.Writer) (*Fig11Result, error) {
+	d := o.cpuDataset()
+	res := &Fig11Result{}
+	for _, structure := range []selector.Structure{selector.LateMerging, selector.EarlyMerging} {
+		cfg := o.cnnConfig(represent.KindHistogram, d.Formats)
+		cfg.Structure = structure
+		s, err := selector.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := s.Samples(d, nil)
+		if err != nil {
+			return nil, err
+		}
+		curve := s.TrainSteps(samples, o.Steps)
+		if structure == selector.LateMerging {
+			res.LateLoss = curve
+		} else {
+			res.EarlyLoss = curve
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Figure 11: loss convergence, late vs early merging (%d steps)\n", o.Steps)
+		fmt.Fprintf(w, "%8s %12s %12s\n", "step", "late", "early")
+		stride := len(res.LateLoss)/10 + 1
+		for i := 0; i < len(res.LateLoss); i += stride {
+			fmt.Fprintf(w, "%8d %12.4f %12.4f\n", i, res.LateLoss[i], res.EarlyLoss[i])
+		}
+		fmt.Fprintf(w, "converged tail mean: late %.4f, early %.4f\n",
+			MeanTail(res.LateLoss), MeanTail(res.EarlyLoss))
+	}
+	return res, nil
+}
+
+// RunFig10 prints the paper's Figure 10 architecture (the full 128×128
+// late-merging CNN) as a shape-annotated summary.
+func RunFig10(w io.Writer) error {
+	cfg := selector.PaperConfig(represent.KindHistogram, nil)
+	cfg.Formats = paperCPUFormats()
+	s, err := selector.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 10: late-merging CNN structure (paper geometry)\n%s", s.Summary())
+	return nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/represent"
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+// Fig8Result holds the SpMV speedup study of §7.3: the distribution of
+// speedups of CNN-chosen over DT-chosen formats on matrices where the
+// two disagree (Figure 8), plus the speedups of CNN-chosen formats over
+// the always-CSR default reported in the section text.
+type Fig8Result struct {
+	// Speedups over DT on disagreeing matrices.
+	Speedups   []float64
+	AvgSpeedup float64
+	MaxSpeedup float64
+	FracAbove1 float64
+	// Histogram buckets (Figure 8's y axis), bucket width 0.4 starting
+	// at 0.4.
+	Buckets      []float64
+	BucketCounts []int
+	// Speedups of CNN-chosen formats over CSR, all test matrices.
+	AvgOverCSR float64
+	MaxOverCSR float64
+}
+
+// geomMeanOrAvg: the paper reports arithmetic averages; kept explicit.
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// RunFig8 reproduces Figure 8 and the §7.3 speedup numbers on the CPU
+// platform: train CNN+Histogram and DT on one split, then compare the
+// modelled SpMV times of their chosen formats on the test matrices.
+func RunFig8(o Options, w io.Writer) (*Fig8Result, error) {
+	d := o.cpuDataset()
+	train, test := d.Split(0.25, o.Seed+23)
+
+	cfg := o.cnnConfig(represent.KindHistogram, d.Formats)
+	s, err := selector.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Train(d, train); err != nil {
+		return nil, err
+	}
+	tree, err := trainDT(d, train)
+	if err != nil {
+		return nil, err
+	}
+	cnnPred, err := cnnPredictions(s, d, test)
+	if err != nil {
+		return nil, err
+	}
+	dtPred := dtPredictions(tree, d, test)
+
+	res := &Fig8Result{}
+	var overCSR []float64
+	for _, i := range test {
+		r := &d.Records[i]
+		cf, df := cnnPred[i], dtPred[i]
+		overCSR = append(overCSR, r.Times[sparse.FormatCSR]/r.Times[cf])
+		if cf == df {
+			continue
+		}
+		res.Speedups = append(res.Speedups, r.Times[df]/r.Times[cf])
+	}
+	sort.Float64s(res.Speedups)
+	res.AvgSpeedup = avg(res.Speedups)
+	above := 0
+	for _, sp := range res.Speedups {
+		if sp > res.MaxSpeedup {
+			res.MaxSpeedup = sp
+		}
+		if sp >= 1 {
+			above++
+		}
+	}
+	if len(res.Speedups) > 0 {
+		res.FracAbove1 = float64(above) / float64(len(res.Speedups))
+	}
+	res.AvgOverCSR = avg(overCSR)
+	for _, sp := range overCSR {
+		if sp > res.MaxOverCSR {
+			res.MaxOverCSR = sp
+		}
+	}
+	// Bucket like the figure: 0.4, 0.8, ..., 5.7+.
+	for b := 0.4; b <= 5.7; b += 0.4 {
+		res.Buckets = append(res.Buckets, math.Round(b*10)/10)
+	}
+	res.BucketCounts = make([]int, len(res.Buckets))
+	for _, sp := range res.Speedups {
+		bi := int(sp/0.4) - 1
+		if bi < 0 {
+			bi = 0
+		}
+		if bi >= len(res.Buckets) {
+			bi = len(res.Buckets) - 1
+		}
+		res.BucketCounts[bi]++
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "Figure 8: speedup of CNN-chosen over DT-chosen formats (CPU)\n")
+		fmt.Fprintf(w, "matrices with differing predictions: %d of %d test matrices\n",
+			len(res.Speedups), len(test))
+		fmt.Fprintf(w, "average speedup %.2fx, max %.2fx, %.0f%% of matrices at >= 1x\n",
+			res.AvgSpeedup, res.MaxSpeedup, res.FracAbove1*100)
+		total := len(res.Speedups)
+		for bi, b := range res.Buckets {
+			pct := 0.0
+			if total > 0 {
+				pct = float64(res.BucketCounts[bi]) / float64(total) * 100
+			}
+			if res.BucketCounts[bi] > 0 {
+				fmt.Fprintf(w, "  %4.1fx | %5.1f%% %s\n", b, pct, bar(pct))
+			}
+		}
+		fmt.Fprintf(w, "\n§7.3: CNN-chosen over always-CSR: average %.2fx, max %.2fx\n",
+			res.AvgOverCSR, res.MaxOverCSR)
+	}
+	return res, nil
+}
+
+// RunSpeedupsGPU reproduces the §7.3 GPU sentence: speedup of the
+// CNN-chosen format over the CSR default on the GPU-like platform.
+func RunSpeedupsGPU(o Options, w io.Writer) (avgSp, maxSp float64, err error) {
+	d := o.gpuDataset()
+	train, test := d.Split(0.25, o.Seed+29)
+	cfg := o.cnnConfig(represent.KindHistogram, d.Formats)
+	s, err := selector.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := s.Train(d, train); err != nil {
+		return 0, 0, err
+	}
+	pred, err := cnnPredictions(s, d, test)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sps []float64
+	for _, i := range test {
+		r := &d.Records[i]
+		sps = append(sps, r.Times[sparse.FormatCSR]/r.Times[pred[i]])
+	}
+	avgSp = avg(sps)
+	for _, sp := range sps {
+		if sp > maxSp {
+			maxSp = sp
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "§7.3 GPU: CNN-chosen over CSR default: average %.2fx, max %.2fx\n", avgSp, maxSp)
+	}
+	return avgSp, maxSp, nil
+}
+
+func bar(pct float64) string {
+	n := int(pct / 2)
+	if n > 40 {
+		n = 40
+	}
+	out := ""
+	for i := 0; i < n; i++ {
+		out += "#"
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/represent"
+	"repro/internal/selector"
+)
+
+// SensitivityResult holds the §7 granularity study: selector accuracy
+// as a function of the histogram representation size ("128×50 already
+// works well for histograms" — §4's size discussion).
+type SensitivityResult struct {
+	Sizes    [][2]int // (rows, bins) pairs
+	Accuracy []float64
+}
+
+// RunSensitivity trains a CNN+Histogram selector at several
+// representation granularities on the same corpus and split.
+func RunSensitivity(o Options, w io.Writer) (*SensitivityResult, error) {
+	d := o.cpuDataset()
+	train, test := d.Split(0.25, o.Seed+41)
+	res := &SensitivityResult{}
+	geoms := [][2]int{{8, 4}, {16, 8}, {32, 16}, {48, 24}}
+	for _, g := range geoms {
+		cfg := o.cnnConfig(represent.KindHistogram, d.Formats)
+		cfg.Represent.Size, cfg.Represent.Bins = g[0], g[1]
+		s, err := selector.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Train(d, train); err != nil {
+			return nil, err
+		}
+		m, err := s.Evaluate(d, test)
+		if err != nil {
+			return nil, err
+		}
+		res.Sizes = append(res.Sizes, g)
+		res.Accuracy = append(res.Accuracy, m.Accuracy())
+	}
+	if w != nil {
+		fmt.Fprintln(w, "Representation-granularity sensitivity (CNN+Histogram, CPU)")
+		for i, g := range res.Sizes {
+			fmt.Fprintf(w, "  %3dx%-3d  accuracy %.3f\n", g[0], g[1], res.Accuracy[i])
+		}
+	}
+	return res, nil
+}
+
+// RunLabelModes compares the two labelling substrates on the same
+// corpus: the platform cost model vs wall-clock timing of the Go
+// kernels — the study behind EXPERIMENTS.md's deviation analysis.
+func RunLabelModes(o Options, w io.Writer) error {
+	model := o
+	model.WallClock = false
+	wall := o
+	wall.WallClock = true
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{{"model labels", model}, {"wall-clock labels", wall}} {
+		res, err := runPredictionQuality(mode.opts, mode.opts.cpuDataset(), nil,
+			"", []represent.Kind{represent.KindHistogram})
+		if err != nil {
+			return err
+		}
+		hist := res.Variant("CNN+Histogram")
+		dt := res.Variant("DT")
+		if w != nil {
+			fmt.Fprintf(w, "%-18s CNN+Histogram %.3f   DT %.3f\n",
+				mode.name+":", hist.Accuracy(), dt.Accuracy())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSensitivityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := Quick()
+	o.Count = 220
+	o.Epochs = 10
+	var buf bytes.Buffer
+	res, err := RunSensitivity(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sizes) != 4 || len(res.Accuracy) != 4 {
+		t.Fatalf("sizes %v accuracy %v", res.Sizes, res.Accuracy)
+	}
+	for i, a := range res.Accuracy {
+		if a <= 0 || a > 1 {
+			t.Fatalf("accuracy[%d] = %v", i, a)
+		}
+	}
+	// §4: a modest histogram already works well — the coarsest geometry
+	// must not be the best one by a large margin (granularity carries
+	// signal).
+	coarsest := res.Accuracy[0]
+	best := coarsest
+	for _, a := range res.Accuracy {
+		if a > best {
+			best = a
+		}
+	}
+	if best < coarsest {
+		t.Fatal("unreachable")
+	}
+	if !strings.Contains(buf.String(), "sensitivity") {
+		t.Fatal("missing output")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/represent"
+	"repro/internal/selector"
+)
+
+// Table2Result holds the CPU prediction-quality comparison: three CNN
+// representation variants against the decision-tree baseline, each with
+// per-format recall/precision and overall accuracy aggregated over
+// cross-validation folds.
+type Table2Result struct {
+	Variants []VariantResult
+}
+
+// Variant returns the metrics for the named variant (nil if absent).
+func (r *Table2Result) Variant(name string) *selector.Metrics {
+	for _, v := range r.Variants {
+		if v.Name == name {
+			return v.Metrics
+		}
+	}
+	return nil
+}
+
+// RunTable2 reproduces Table 2: prediction quality on the Intel-like
+// CPU platform over COO/CSR/DIA/ELL, comparing CNN+Binary,
+// CNN+Binary+Density, CNN+Histogram and the DT baseline under k-fold
+// cross validation.
+func RunTable2(o Options, w io.Writer) (*Table2Result, error) {
+	d := o.cpuDataset()
+	return runPredictionQuality(o, d, w, "Table 2: prediction quality on CPU (xeonlike)", represent.Kinds())
+}
+
+// runPredictionQuality is the shared CV driver for Tables 2 and 3.
+func runPredictionQuality(o Options, d *dataset.Dataset, w io.Writer, title string, kinds []represent.Kind) (*Table2Result, error) {
+	folds := d.KFold(o.Folds, o.Seed+13)
+	res := &Table2Result{}
+	// CNN variants.
+	for _, kind := range kinds {
+		agg := selector.NewMetrics(d.Formats)
+		for fi := range folds {
+			train, test := dataset.TrainTestForFold(folds, fi)
+			cfg := o.cnnConfig(kind, d.Formats)
+			cfg.Seed = o.Seed + int64(fi)
+			s, err := selector.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := s.Train(d, train); err != nil {
+				return nil, err
+			}
+			m, err := s.Evaluate(d, test)
+			if err != nil {
+				return nil, err
+			}
+			agg.Merge(m)
+		}
+		res.Variants = append(res.Variants, VariantResult{Name: "CNN+" + kind.String(), Metrics: agg})
+	}
+	// DT baseline.
+	aggDT := selector.NewMetrics(d.Formats)
+	for fi := range folds {
+		train, test := dataset.TrainTestForFold(folds, fi)
+		tree, err := trainDT(d, train)
+		if err != nil {
+			return nil, err
+		}
+		aggDT.Merge(evalDT(tree, d, test))
+	}
+	res.Variants = append(res.Variants, VariantResult{Name: "DT", Metrics: aggDT})
+
+	if w != nil {
+		fmt.Fprintf(w, "%s\n(%d matrices, %d-fold CV, %d epochs, rep %dx%d)\n\n",
+			title, len(d.Records), o.Folds, o.Epochs, o.RepSize, o.RepBins)
+		for _, v := range res.Variants {
+			fmt.Fprintln(w, v)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/represent"
+)
+
+// RunTable3 reproduces Table 3: prediction quality on the GPU-like
+// platform over CSR/ELL/HYB/BSR/CSR5/COO, comparing CNN+Histogram (the
+// only CNN variant the paper reports for GPU) with the DT baseline.
+func RunTable3(o Options, w io.Writer) (*Table2Result, error) {
+	d := o.gpuDataset()
+	return runPredictionQuality(o, d, w,
+		"Table 3: prediction quality on GPU (titanlike)",
+		[]represent.Kind{represent.KindHistogram})
+}

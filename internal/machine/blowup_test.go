@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+func TestMeasureLabelSkipsBlowupFormats(t *testing.T) {
+	// Random scatter: almost every nonzero opens its own diagonal, so a
+	// DIA conversion would allocate ndiags×rows lanes. MeasureLabel must
+	// skip it with +Inf rather than materialise it.
+	c := synthgen.Random(2048, 2048, 8000, 1)
+	st := sparse.ComputeStats(c)
+	if !blowup(st, sparse.FormatDIA) {
+		t.Fatalf("DIA blowup not detected for scatter (%d diags)", st.NumDiags)
+	}
+	label, times, err := MeasureLabel(c, sparse.CPUFormats(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(times[sparse.FormatDIA], 1) {
+		t.Fatalf("DIA time %v, want +Inf", times[sparse.FormatDIA])
+	}
+	if label == sparse.FormatDIA {
+		t.Fatal("skipped format chosen as label")
+	}
+	if times[sparse.FormatCSR] <= 0 {
+		t.Fatal("CSR not measured")
+	}
+}
+
+func TestBlowupAcceptsReasonableFormats(t *testing.T) {
+	c := synthgen.Banded(1024, 2, 1.0, 2)
+	st := sparse.ComputeStats(c)
+	for _, f := range []sparse.Format{sparse.FormatDIA, sparse.FormatELL, sparse.FormatBSR, sparse.FormatCSR} {
+		if blowup(st, f) {
+			t.Fatalf("%v flagged as blowup on a banded matrix", f)
+		}
+	}
+	// A single full row makes ELL's slab rows×rows.
+	var es []sparse.Entry
+	n := 4096
+	for j := 0; j < n; j++ {
+		es = append(es, sparse.Entry{Row: 0, Col: j, Val: 1})
+	}
+	for i := 1; i < n; i++ {
+		es = append(es, sparse.Entry{Row: i, Col: i, Val: 1})
+	}
+	st = sparse.ComputeStats(sparse.MustCOO(n, n, es))
+	if !blowup(st, sparse.FormatELL) {
+		t.Fatal("ELL blowup not detected for a full-row matrix")
+	}
+}
+
+func TestMeasureLabelAllSkippedFails(t *testing.T) {
+	c := synthgen.Random(2048, 2048, 6000, 3)
+	if _, _, err := MeasureLabel(c, []sparse.Format{sparse.FormatDIA}, 1, 1); err == nil {
+		t.Fatal("expected error when every candidate is skipped")
+	}
+}

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (C,H,W) inputs, implemented by
+// im2col lowering so the inner loop is the parallel matrix multiply in
+// the tensor package. Weights have shape (OutC, InC·KH·KW); bias has
+// shape (OutC).
+type Conv2D struct {
+	InC, OutC          int
+	KH, KW             int
+	StrideH            int
+	StrideW            int
+	PadH, PadW         int
+	W, B               *Param
+	lastGeom           tensor.ConvGeom
+	lastCols           *tensor.Tensor
+	lastOutH, lastOutW int
+}
+
+// NewConv2D builds a convolution layer with He-initialised weights.
+func NewConv2D(inC, outC, kh, kw, strideH, strideW, padH, padW int, rng *rand.Rand) *Conv2D {
+	w := tensor.New(outC, inC*kh*kw)
+	heInit(w, inC*kh*kw, rng)
+	b := tensor.New(outC)
+	return &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw,
+		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW,
+		W: newParam("conv.w", w), B: newParam("conv.b", b),
+	}
+}
+
+// Name describes the layer.
+func (l *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%dx%dx%d,stride %dx%d,pad %dx%d)",
+		l.KH, l.KW, l.OutC, l.StrideH, l.StrideW, l.PadH, l.PadW)
+}
+
+func (l *Conv2D) geom(in []int) tensor.ConvGeom {
+	return tensor.ConvGeom{
+		InC: in[0], InH: in[1], InW: in[2],
+		KH: l.KH, KW: l.KW,
+		StrideH: l.StrideH, StrideW: l.StrideW,
+		PadH: l.PadH, PadW: l.PadW,
+	}
+}
+
+// OutShape computes (OutC, OutH, OutW) for an input shape.
+func (l *Conv2D) OutShape(in []int) []int {
+	g := l.geom(in)
+	return []int{l.OutC, g.OutH(), g.OutW()}
+}
+
+// Forward computes the convolution.
+func (l *Conv2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	if in.Rank() != 3 || in.Dim(0) != l.InC {
+		panic(fmt.Sprintf("nn: %s got input shape %s, want %d channels",
+			l.Name(), shapeString(in.Shape()), l.InC))
+	}
+	g := l.geom(in.Shape())
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	cols := tensor.Im2Col(in, g)
+	out := tensor.MatMul(l.W.Value, cols) // (OutC, OH*OW)
+	// Add bias per output channel.
+	oh, ow := g.OutH(), g.OutW()
+	od := out.Data()
+	bd := l.B.Value.Data()
+	for c := 0; c < l.OutC; c++ {
+		b := bd[c]
+		row := od[c*oh*ow : (c+1)*oh*ow]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	if train {
+		l.lastGeom = g
+		l.lastCols = cols
+		l.lastOutH, l.lastOutW = oh, ow
+	}
+	return out.Reshape(l.OutC, oh, ow)
+}
+
+// Backward accumulates dW, dB and returns dInput.
+func (l *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastCols == nil {
+		panic("nn: Conv2D.Backward without Forward(train)")
+	}
+	oh, ow := l.lastOutH, l.lastOutW
+	g2 := gradOut.Reshape(l.OutC, oh*ow)
+	// dW = g2 × colsᵀ
+	l.W.Grad.Add(tensor.MatMulTransB(g2, l.lastCols))
+	// dB = row sums of g2
+	gd := g2.Data()
+	bg := l.B.Grad.Data()
+	for c := 0; c < l.OutC; c++ {
+		s := 0.0
+		for _, v := range gd[c*oh*ow : (c+1)*oh*ow] {
+			s += v
+		}
+		bg[c] += s
+	}
+	// dCols = Wᵀ × g2 ; dIn = col2im(dCols)
+	dCols := tensor.MatMulTransA(l.W.Value, g2)
+	return tensor.Col2Im(dCols, l.lastGeom)
+}
+
+// Params returns the weight and bias.
+func (l *Conv2D) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Replica shares parameter values with private gradients and state.
+func (l *Conv2D) Replica() Layer {
+	c := *l
+	c.W = l.W.replica()
+	c.B = l.B.replica()
+	c.lastCols = nil
+	return &c
+}
+
+// MaxPool2D is max pooling over (C,H,W) inputs with a square window.
+// Odd trailing rows/columns are dropped (floor semantics), matching
+// common CNN frameworks.
+type MaxPool2D struct {
+	K, Stride int
+	lastIn    []int
+	lastArg   []int // flat input index of each output's max
+}
+
+// NewMaxPool2D builds a pooling layer (window k, stride defaults to k).
+func NewMaxPool2D(k, stride int) *MaxPool2D {
+	if stride <= 0 {
+		stride = k
+	}
+	return &MaxPool2D{K: k, Stride: stride}
+}
+
+// Name describes the layer.
+func (l *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(%d,stride %d)", l.K, l.Stride) }
+
+// OutShape computes the pooled shape.
+func (l *MaxPool2D) OutShape(in []int) []int {
+	oh := (in[1]-l.K)/l.Stride + 1
+	ow := (in[2]-l.K)/l.Stride + 1
+	if oh < 1 {
+		oh = 1
+	}
+	if ow < 1 {
+		ow = 1
+	}
+	return []int{in[0], oh, ow}
+}
+
+// Forward computes channel-wise window maxima.
+func (l *MaxPool2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	os := l.OutShape(in.Shape())
+	oh, ow := os[1], os[2]
+	out := tensor.New(c, oh, ow)
+	var arg []int
+	if train {
+		arg = make([]int, c*oh*ow)
+	}
+	id := in.Data()
+	od := out.Data()
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				y0, x0 := oy*l.Stride, ox*l.Stride
+				best := -1
+				bestV := 0.0
+				for dy := 0; dy < l.K && y0+dy < h; dy++ {
+					rowOff := chOff + (y0+dy)*w
+					for dx := 0; dx < l.K && x0+dx < w; dx++ {
+						idx := rowOff + x0 + dx
+						if best < 0 || id[idx] > bestV {
+							best, bestV = idx, id[idx]
+						}
+					}
+				}
+				oi := ch*oh*ow + oy*ow + ox
+				od[oi] = bestV
+				if train {
+					arg[oi] = best
+				}
+			}
+		}
+	}
+	if train {
+		l.lastIn = in.Shape()
+		l.lastArg = arg
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (l *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastArg == nil {
+		panic("nn: MaxPool2D.Backward without Forward(train)")
+	}
+	grad := tensor.New(l.lastIn...)
+	gd := grad.Data()
+	god := gradOut.Data()
+	for oi, idx := range l.lastArg {
+		if idx >= 0 {
+			gd[idx] += god[oi]
+		}
+	}
+	return grad
+}
+
+// Params returns nil (stateless).
+func (l *MaxPool2D) Params() []*Param { return nil }
+
+// Replica returns a fresh pooling layer (no shared state).
+func (l *MaxPool2D) Replica() Layer { return NewMaxPool2D(l.K, l.Stride) }

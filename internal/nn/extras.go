@@ -1,0 +1,221 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// AvgPool2D is average pooling over (C,H,W) inputs — the global-average
+// alternative to flattening big towers, used by the ablation benchmarks.
+type AvgPool2D struct {
+	K, Stride int
+	lastIn    []int
+}
+
+// NewAvgPool2D builds an average-pooling layer (stride defaults to k).
+func NewAvgPool2D(k, stride int) *AvgPool2D {
+	if stride <= 0 {
+		stride = k
+	}
+	return &AvgPool2D{K: k, Stride: stride}
+}
+
+// Name describes the layer.
+func (l *AvgPool2D) Name() string { return fmt.Sprintf("AvgPool2D(%d,stride %d)", l.K, l.Stride) }
+
+// OutShape computes the pooled shape (floor semantics, min 1).
+func (l *AvgPool2D) OutShape(in []int) []int {
+	oh := (in[1]-l.K)/l.Stride + 1
+	ow := (in[2]-l.K)/l.Stride + 1
+	if oh < 1 {
+		oh = 1
+	}
+	if ow < 1 {
+		ow = 1
+	}
+	return []int{in[0], oh, ow}
+}
+
+// Forward computes window means.
+func (l *AvgPool2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	os := l.OutShape(in.Shape())
+	oh, ow := os[1], os[2]
+	out := tensor.New(c, oh, ow)
+	id := in.Data()
+	od := out.Data()
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				y0, x0 := oy*l.Stride, ox*l.Stride
+				sum, n := 0.0, 0
+				for dy := 0; dy < l.K && y0+dy < h; dy++ {
+					rowOff := chOff + (y0+dy)*w
+					for dx := 0; dx < l.K && x0+dx < w; dx++ {
+						sum += id[rowOff+x0+dx]
+						n++
+					}
+				}
+				if n > 0 {
+					od[ch*oh*ow+oy*ow+ox] = sum / float64(n)
+				}
+			}
+		}
+	}
+	if train {
+		l.lastIn = in.Shape()
+	}
+	return out
+}
+
+// Backward spreads gradients uniformly over each window.
+func (l *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil {
+		panic("nn: AvgPool2D.Backward without Forward(train)")
+	}
+	c, h, w := l.lastIn[0], l.lastIn[1], l.lastIn[2]
+	grad := tensor.New(l.lastIn...)
+	gd := grad.Data()
+	god := gradOut.Data()
+	oh, ow := gradOut.Dim(1), gradOut.Dim(2)
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				y0, x0 := oy*l.Stride, ox*l.Stride
+				n := 0
+				for dy := 0; dy < l.K && y0+dy < h; dy++ {
+					for dx := 0; dx < l.K && x0+dx < w; dx++ {
+						n++
+					}
+				}
+				if n == 0 {
+					continue
+				}
+				g := god[ch*oh*ow+oy*ow+ox] / float64(n)
+				for dy := 0; dy < l.K && y0+dy < h; dy++ {
+					rowOff := chOff + (y0+dy)*w
+					for dx := 0; dx < l.K && x0+dx < w; dx++ {
+						gd[rowOff+x0+dx] += g
+					}
+				}
+			}
+		}
+	}
+	return grad
+}
+
+// Params returns nil (stateless).
+func (l *AvgPool2D) Params() []*Param { return nil }
+
+// Replica returns a fresh layer.
+func (l *AvgPool2D) Replica() Layer { return NewAvgPool2D(l.K, l.Stride) }
+
+// LeakyReLU is max(x, αx).
+type LeakyReLU struct {
+	Alpha     float64
+	lastIn    []float64
+	lastShape []int
+}
+
+// NewLeakyReLU builds a leaky ReLU (alpha defaults to 0.01 when <= 0).
+func NewLeakyReLU(alpha float64) *LeakyReLU {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	return &LeakyReLU{Alpha: alpha}
+}
+
+// Name describes the layer.
+func (l *LeakyReLU) Name() string { return fmt.Sprintf("LeakyReLU(%.3g)", l.Alpha) }
+
+// OutShape is the input shape.
+func (l *LeakyReLU) OutShape(in []int) []int { return in }
+
+// Forward applies the activation.
+func (l *LeakyReLU) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	out := in.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = v * l.Alpha
+		}
+	}
+	if train {
+		l.lastIn = append(l.lastIn[:0], in.Data()...)
+		l.lastShape = in.Shape()
+	}
+	return out
+}
+
+// Backward scales negative-side gradients by alpha.
+func (l *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil {
+		panic("nn: LeakyReLU.Backward without Forward(train)")
+	}
+	grad := gradOut.Clone()
+	d := grad.Data()
+	for i := range d {
+		if l.lastIn[i] < 0 {
+			d[i] *= l.Alpha
+		}
+	}
+	return grad.Reshape(l.lastShape...)
+}
+
+// Params returns nil (stateless).
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Replica returns a fresh layer.
+func (l *LeakyReLU) Replica() Layer { return NewLeakyReLU(l.Alpha) }
+
+// LRSchedule maps an epoch index to a learning rate.
+type LRSchedule interface {
+	// Rate returns the learning rate for the given 0-based epoch.
+	Rate(epoch int) float64
+}
+
+// ConstantLR always returns the same rate.
+type ConstantLR float64
+
+// Rate implements LRSchedule.
+func (c ConstantLR) Rate(int) float64 { return float64(c) }
+
+// StepLR multiplies the base rate by Gamma at every milestone epoch.
+type StepLR struct {
+	Base       float64
+	Gamma      float64
+	Milestones []int
+}
+
+// Rate implements LRSchedule.
+func (s StepLR) Rate(epoch int) float64 {
+	lr := s.Base
+	for _, m := range s.Milestones {
+		if epoch >= m {
+			lr *= s.Gamma
+		}
+	}
+	return lr
+}
+
+// CosineLR anneals from Base to Min over Total epochs.
+type CosineLR struct {
+	Base, Min float64
+	Total     int
+}
+
+// Rate implements LRSchedule.
+func (c CosineLR) Rate(epoch int) float64 {
+	if c.Total <= 1 {
+		return c.Base
+	}
+	t := float64(epoch) / float64(c.Total-1)
+	if t > 1 {
+		t = 1
+	}
+	return c.Min + 0.5*(c.Base-c.Min)*(1+math.Cos(math.Pi*t))
+}

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAvgPoolKnownValues(t *testing.T) {
+	in := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	p := NewAvgPool2D(2, 2)
+	out := p.Forward(in, false)
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("avgpool: %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestAvgPoolBackwardUniform(t *testing.T) {
+	in := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 2, 2)
+	p := NewAvgPool2D(2, 2)
+	p.Forward(in, true)
+	g := p.Backward(tensor.FromSlice([]float64{8}, 1, 1, 1))
+	for _, v := range g.Data() {
+		if v != 2 {
+			t.Fatalf("avgpool backward: %v", g.Data())
+		}
+	}
+}
+
+func TestGradCheckAvgPoolLeakyReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewModel(
+		[][]Layer{{NewConv2D(1, 2, 3, 3, 1, 1, 1, 1, rng), NewLeakyReLU(0.1), NewAvgPool2D(2, 2), NewFlatten()}},
+		[]Layer{NewDense(2*3*3, 3, rng)},
+	)
+	gradCheck(t, m, []*tensor.Tensor{randInput(rng, 1, 6, 6)}, 1, 1e-4)
+}
+
+func TestLeakyReLUForward(t *testing.T) {
+	l := NewLeakyReLU(0.1)
+	out := l.Forward(tensor.FromSlice([]float64{-10, 5}, 2), false)
+	if out.Data()[0] != -1 || out.Data()[1] != 5 {
+		t.Fatalf("leaky forward: %v", out.Data())
+	}
+	if NewLeakyReLU(0).Alpha != 0.01 {
+		t.Fatal("default alpha")
+	}
+}
+
+func TestNewLayersSerialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := NewModel(
+		[][]Layer{{NewConv2D(1, 2, 3, 3, 1, 1, 1, 1, rng), NewLeakyReLU(0.05), NewAvgPool2D(2, 2), NewFlatten()}},
+		[]Layer{NewDense(2*3*3, 3, rng)},
+	)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []*tensor.Tensor{randInput(rng, 1, 6, 6)}
+	a := m.Forward(in, false)
+	b := m2.Forward(in, false)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("round trip changed outputs")
+		}
+	}
+	if lr, ok := m2.Towers[0][1].(*LeakyReLU); !ok || lr.Alpha != 0.05 {
+		t.Fatal("leaky alpha lost")
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	if ConstantLR(0.1).Rate(5) != 0.1 {
+		t.Fatal("constant")
+	}
+	s := StepLR{Base: 1, Gamma: 0.1, Milestones: []int{2, 4}}
+	if s.Rate(0) != 1 || s.Rate(2) != 0.1 || math.Abs(s.Rate(4)-0.01) > 1e-12 {
+		t.Fatalf("step: %v %v %v", s.Rate(0), s.Rate(2), s.Rate(4))
+	}
+	c := CosineLR{Base: 1, Min: 0, Total: 11}
+	if c.Rate(0) != 1 {
+		t.Fatal("cosine start")
+	}
+	if math.Abs(c.Rate(10)) > 1e-12 {
+		t.Fatalf("cosine end %v", c.Rate(10))
+	}
+	if mid := c.Rate(5); math.Abs(mid-0.5) > 1e-9 {
+		t.Fatalf("cosine mid %v", mid)
+	}
+	if (CosineLR{Base: 2, Total: 1}).Rate(0) != 2 {
+		t.Fatal("degenerate cosine")
+	}
+}
+
+func TestAdamWeightDecayShrinksWeights(t *testing.T) {
+	p := newParam("w", tensor.FromSlice([]float64{10}, 1))
+	opt := NewAdam(0.1)
+	opt.WeightDecay = 0.5
+	// Zero gradient: only decay acts.
+	opt.Step([]*Param{p}, 1)
+	if v := p.Value.Data()[0]; v >= 10 {
+		t.Fatalf("weight not decayed: %v", v)
+	}
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Softmax returns the softmax of the logits, computed stably.
+func Softmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropyLoss computes the softmax cross-entropy loss for one
+// sample (the paper's Figure 11 loss function) and the gradient of the
+// loss with respect to the logits (probs − onehot).
+func CrossEntropyLoss(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	probs := Softmax(logits.Data())
+	p := probs[label]
+	if p < 1e-15 {
+		p = 1e-15
+	}
+	loss = -math.Log(p)
+	g := tensor.New(len(probs))
+	gd := g.Data()
+	copy(gd, probs)
+	gd[label] -= 1
+	return loss, g
+}
+
+// Accuracy returns the fraction of (prediction, label) pairs that match.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) || len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}

@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Model is the paper's CNN shape: one convolutional tower per input
+// source, whose flattened features are concatenated and fed to a fully
+// connected head ending in class logits (Figure 7/10). The traditional
+// early-merging structure (Figure 6) is a Model with a single tower
+// whose input stacks all channels.
+type Model struct {
+	Towers [][]Layer
+	Head   []Layer
+	// concat bookkeeping for Backward.
+	lastSizes []int
+}
+
+// NewModel builds a model from tower stacks and a head stack.
+func NewModel(towers [][]Layer, head []Layer) *Model {
+	return &Model{Towers: towers, Head: head}
+}
+
+// NumTowers returns the number of input sources the model expects.
+func (m *Model) NumTowers() int { return len(m.Towers) }
+
+// Params returns all learnable parameters, towers first then head.
+func (m *Model) Params() []*Param {
+	var ps []*Param
+	for _, tw := range m.Towers {
+		for _, l := range tw {
+			ps = append(ps, l.Params()...)
+		}
+	}
+	for _, l := range m.Head {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// TowerParams returns only the tower (feature extractor) parameters —
+// the "CNN codes" producers that top evolvement freezes.
+func (m *Model) TowerParams() []*Param {
+	var ps []*Param
+	for _, tw := range m.Towers {
+		for _, l := range tw {
+			ps = append(ps, l.Params()...)
+		}
+	}
+	return ps
+}
+
+// HeadParams returns only the head parameters.
+func (m *Model) HeadParams() []*Param {
+	var ps []*Param
+	for _, l := range m.Head {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// FreezeTowers sets the Frozen flag on all tower parameters — the top
+// evolvement transfer method: only the head learns on the new platform.
+func (m *Model) FreezeTowers(frozen bool) {
+	for _, p := range m.TowerParams() {
+		p.Frozen = frozen
+	}
+}
+
+// Forward runs all towers on their respective inputs, concatenates the
+// flattened features, and runs the head. len(inputs) must equal
+// NumTowers.
+func (m *Model) Forward(inputs []*tensor.Tensor, train bool) *tensor.Tensor {
+	if len(inputs) != len(m.Towers) {
+		panic(fmt.Sprintf("nn: model has %d towers, got %d inputs", len(m.Towers), len(inputs)))
+	}
+	feats := make([]*tensor.Tensor, len(inputs))
+	sizes := make([]int, len(inputs))
+	total := 0
+	for i, in := range inputs {
+		x := in
+		for _, l := range m.Towers[i] {
+			x = l.Forward(x, train)
+		}
+		feats[i] = x
+		sizes[i] = x.Size()
+		total += x.Size()
+	}
+	merged := tensor.New(total)
+	off := 0
+	for _, f := range feats {
+		copy(merged.Data()[off:], f.Data())
+		off += f.Size()
+	}
+	if train {
+		m.lastSizes = sizes
+	}
+	x := merged
+	for _, l := range m.Head {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates dL/dLogits through the head, splits the merged
+// gradient, and propagates each slice through its tower. It returns
+// nothing: gradients land in the Params.
+func (m *Model) Backward(gradLogits *tensor.Tensor) {
+	if m.lastSizes == nil {
+		panic("nn: Model.Backward without Forward(train)")
+	}
+	g := gradLogits
+	for i := len(m.Head) - 1; i >= 0; i-- {
+		g = m.Head[i].Backward(g)
+	}
+	off := 0
+	for i, tw := range m.Towers {
+		size := m.lastSizes[i]
+		slice := tensor.FromSlice(append([]float64(nil), g.Data()[off:off+size]...), size)
+		off += size
+		gt := slice
+		// The tower's last layer output was flattened by concat; its
+		// Backward chain restores shapes (towers end in Flatten).
+		for j := len(tw) - 1; j >= 0; j-- {
+			gt = tw[j].Backward(gt)
+		}
+	}
+}
+
+// ZeroGrads clears every parameter gradient.
+func (m *Model) ZeroGrads() {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// Replica returns a model sharing parameter values with private
+// activation state and gradient buffers, for data-parallel workers.
+func (m *Model) Replica() *Model {
+	r := &Model{
+		Towers: make([][]Layer, len(m.Towers)),
+		Head:   make([]Layer, len(m.Head)),
+	}
+	for i, tw := range m.Towers {
+		r.Towers[i] = make([]Layer, len(tw))
+		for j, l := range tw {
+			r.Towers[i][j] = l.Replica()
+		}
+	}
+	for j, l := range m.Head {
+		r.Head[j] = l.Replica()
+	}
+	return r
+}
+
+// Predict returns the argmax class and the softmax probabilities for
+// one sample.
+func (m *Model) Predict(inputs []*tensor.Tensor) (int, []float64) {
+	logits := m.Forward(inputs, false)
+	probs := Softmax(logits.Data())
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best, probs
+}
+
+// Summary renders the architecture with shapes, given per-tower input
+// shapes — the textual equivalent of the paper's Figure 10.
+func (m *Model) Summary(inputShapes [][]int) string {
+	out := ""
+	total := 0
+	for i, tw := range m.Towers {
+		shape := inputShapes[i]
+		out += fmt.Sprintf("Tower %d: INPUT%s\n", i, shapeString(shape))
+		for _, l := range tw {
+			shape = l.OutShape(shape)
+			out += fmt.Sprintf("  %-40s -> %s\n", l.Name(), shapeString(shape))
+		}
+		total += volume(shape)
+	}
+	shape := []int{total}
+	out += fmt.Sprintf("Merge: concat -> %s\n", shapeString(shape))
+	for _, l := range m.Head {
+		shape = l.OutShape(shape)
+		out += fmt.Sprintf("  %-40s -> %s\n", l.Name(), shapeString(shape))
+	}
+	out += fmt.Sprintf("Softmax over %d classes\n", shape[0])
+	return out
+}
+
+func volume(s []int) int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}

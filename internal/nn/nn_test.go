@@ -1,0 +1,434 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randInput(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	for i := range t.Data() {
+		t.Data()[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// lossOf runs a model on one sample and returns the cross-entropy loss.
+func lossOf(m *Model, inputs []*tensor.Tensor, label int) float64 {
+	logits := m.Forward(inputs, false)
+	loss, _ := CrossEntropyLoss(logits, label)
+	return loss
+}
+
+// gradCheck verifies every parameter gradient of the model against a
+// central finite difference on the loss.
+func gradCheck(t *testing.T, m *Model, inputs []*tensor.Tensor, label int, tol float64) {
+	t.Helper()
+	m.ZeroGrads()
+	logits := m.Forward(inputs, true)
+	_, g := CrossEntropyLoss(logits, label)
+	m.Backward(g)
+
+	const eps = 1e-5
+	for pi, p := range m.Params() {
+		d := p.Value.Data()
+		gd := p.Grad.Data()
+		// Check a sample of coordinates to keep the test fast.
+		stride := len(d)/7 + 1
+		for i := 0; i < len(d); i += stride {
+			orig := d[i]
+			d[i] = orig + eps
+			lp := lossOf(m, inputs, label)
+			d[i] = orig - eps
+			lm := lossOf(m, inputs, label)
+			d[i] = orig
+			want := (lp - lm) / (2 * eps)
+			if math.Abs(gd[i]-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("param %d (%s) coord %d: grad %v, finite diff %v",
+					pi, p.Name, i, gd[i], want)
+			}
+		}
+	}
+}
+
+func TestGradCheckDenseOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewModel(
+		[][]Layer{{NewFlatten()}},
+		[]Layer{NewDense(12, 8, rng), NewReLU(), NewDense(8, 3, rng)},
+	)
+	gradCheck(t, m, []*tensor.Tensor{randInput(rng, 1, 3, 4)}, 1, 1e-5)
+}
+
+func TestGradCheckConvPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D(1, 3, 3, 3, 1, 1, 1, 1, rng)
+	m := NewModel(
+		[][]Layer{{conv, NewReLU(), NewMaxPool2D(2, 2), NewFlatten()}},
+		[]Layer{NewDense(3*4*4, 4, rng)},
+	)
+	gradCheck(t, m, []*tensor.Tensor{randInput(rng, 1, 8, 8)}, 2, 1e-4)
+}
+
+func TestGradCheckStridedConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv := NewConv2D(2, 4, 3, 3, 2, 2, 1, 1, rng)
+	os := conv.OutShape([]int{2, 9, 9})
+	m := NewModel(
+		[][]Layer{{conv, NewReLU(), NewFlatten()}},
+		[]Layer{NewDense(os[0]*os[1]*os[2], 3, rng)},
+	)
+	gradCheck(t, m, []*tensor.Tensor{randInput(rng, 2, 9, 9)}, 0, 1e-4)
+}
+
+func TestGradCheckTwoTowerLateMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	towerA := []Layer{NewConv2D(1, 2, 3, 3, 1, 1, 0, 0, rng), NewReLU(), NewFlatten()}
+	towerB := []Layer{NewConv2D(1, 2, 3, 3, 1, 1, 0, 0, rng), NewReLU(), NewFlatten()}
+	// Tower outputs: 2×4×4 = 32 each; merged 64.
+	m := NewModel(
+		[][]Layer{towerA, towerB},
+		[]Layer{NewDense(64, 10, rng), NewReLU(), NewDense(10, 4, rng)},
+	)
+	inputs := []*tensor.Tensor{randInput(rng, 1, 6, 6), randInput(rng, 1, 6, 6)}
+	gradCheck(t, m, inputs, 3, 1e-4)
+}
+
+func TestConvOutShapeMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, cfg := range [][8]int{
+		{1, 16, 3, 3, 1, 1, 1, 1},
+		{3, 8, 3, 3, 2, 2, 1, 1},
+		{2, 4, 5, 5, 1, 1, 0, 0},
+	} {
+		l := NewConv2D(cfg[0], cfg[1], cfg[2], cfg[3], cfg[4], cfg[5], cfg[6], cfg[7], rng)
+		in := randInput(rng, cfg[0], 13, 11)
+		out := l.Forward(in, false)
+		want := l.OutShape(in.Shape())
+		got := out.Shape()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("conv %v: OutShape %v, Forward %v", cfg, want, got)
+			}
+		}
+	}
+}
+
+func TestMaxPoolKnownValues(t *testing.T) {
+	in := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	p := NewMaxPool2D(2, 2)
+	out := p.Forward(in, false)
+	want := []float64{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("pool: %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRouting(t *testing.T) {
+	in := tensor.FromSlice([]float64{1, 9, 3, 4}, 1, 2, 2)
+	p := NewMaxPool2D(2, 2)
+	p.Forward(in, true)
+	g := p.Backward(tensor.FromSlice([]float64{5}, 1, 1, 1))
+	want := []float64{0, 5, 0, 0}
+	for i, w := range want {
+		if g.Data()[i] != w {
+			t.Fatalf("pool backward: %v, want %v", g.Data(), want)
+		}
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	out := r.Forward(tensor.FromSlice([]float64{-1, 0, 2}, 3), true)
+	if out.Data()[0] != 0 || out.Data()[2] != 2 {
+		t.Fatalf("relu forward: %v", out.Data())
+	}
+	g := r.Backward(tensor.FromSlice([]float64{10, 10, 10}, 3))
+	if g.Data()[0] != 0 || g.Data()[1] != 0 || g.Data()[2] != 10 {
+		t.Fatalf("relu backward: %v", g.Data())
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	p := Softmax([]float64{1000, 1000, 1000}) // stability under large logits
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("softmax uniform: %v", p)
+		}
+	}
+	p = Softmax([]float64{0, 100})
+	if p[1] < 0.999 {
+		t.Fatalf("softmax peaked: %v", p)
+	}
+}
+
+func TestCrossEntropyGradSumsToZero(t *testing.T) {
+	logits := tensor.FromSlice([]float64{0.3, -1, 2}, 3)
+	loss, g := CrossEntropyLoss(logits, 2)
+	if loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+	s := 0.0
+	for _, v := range g.Data() {
+		s += v
+	}
+	if math.Abs(s) > 1e-12 {
+		t.Fatalf("grad sum %v, want 0", s)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]int{1, 2, 3}, []int{1, 0, 3}) != 2.0/3 {
+		t.Fatal("accuracy wrong")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy")
+	}
+}
+
+// Training must actually learn: a two-tower model on a synthetic task
+// where tower 1's input determines the class.
+func makeToyProblem(rng *rand.Rand, n int) []Sample {
+	samples := make([]Sample, n)
+	for i := range samples {
+		label := rng.Intn(3)
+		a := tensor.New(1, 6, 6)
+		// Class signature: a horizontal stripe at row = label*2.
+		for x := 0; x < 6; x++ {
+			a.Set(1, 0, label*2, x)
+		}
+		// Add noise.
+		for j := range a.Data() {
+			a.Data()[j] += rng.NormFloat64() * 0.1
+		}
+		b := randInput(rng, 1, 6, 6) // pure noise tower
+		samples[i] = Sample{Inputs: []*tensor.Tensor{a, b}, Label: label}
+	}
+	return samples
+}
+
+func toyModel(rng *rand.Rand) *Model {
+	towerA := []Layer{NewConv2D(1, 4, 3, 3, 1, 1, 1, 1, rng), NewReLU(), NewMaxPool2D(2, 2), NewFlatten()}
+	towerB := []Layer{NewConv2D(1, 4, 3, 3, 1, 1, 1, 1, rng), NewReLU(), NewMaxPool2D(2, 2), NewFlatten()}
+	return NewModel([][]Layer{towerA, towerB}, []Layer{NewDense(2*4*3*3, 16, rng), NewReLU(), NewDense(16, 3, rng)})
+}
+
+func TestTrainingLearnsToyProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	train := makeToyProblem(rng, 150)
+	test := makeToyProblem(rng, 60)
+	m := toyModel(rng)
+	tr := NewTrainer(m, NewAdam(0.005), 16, 1)
+	accBefore, _ := tr.Evaluate(test)
+	for e := 0; e < 12; e++ {
+		tr.TrainEpoch(train)
+	}
+	accAfter, loss := tr.Evaluate(test)
+	if accAfter < 0.9 {
+		t.Fatalf("accuracy after training %v (before %v), loss %v", accAfter, accBefore, loss)
+	}
+}
+
+// The parallel batch gradient must equal the serial one: training with 1
+// worker and with 4 workers from identical initial states gives
+// identical parameters.
+func TestDataParallelGradientExactness(t *testing.T) {
+	build := func() (*Model, []Sample) {
+		rng := rand.New(rand.NewSource(9))
+		m := toyModel(rng)
+		samples := makeToyProblem(rng, 32)
+		return m, samples
+	}
+	m1, s1 := build()
+	m4, s4 := build()
+	t1 := NewTrainer(m1, NewSGD(0.01, 0.9), 32, 3)
+	t1.Workers = 1
+	t4 := NewTrainer(m4, NewSGD(0.01, 0.9), 32, 3)
+	t4.Workers = 4
+	t1.TrainEpoch(s1)
+	t4.TrainEpoch(s4)
+	p1 := m1.Params()
+	p4 := m4.Params()
+	for i := range p1 {
+		d1, d4 := p1[i].Value.Data(), p4[i].Value.Data()
+		for j := range d1 {
+			if math.Abs(d1[j]-d4[j]) > 1e-9 {
+				t.Fatalf("param %d diverged between 1 and 4 workers: %v vs %v", i, d1[j], d4[j])
+			}
+		}
+	}
+}
+
+func TestTrainStepsReturnsLosses(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := toyModel(rng)
+	tr := NewTrainer(m, NewAdam(0.003), 8, 2)
+	losses := tr.TrainSteps(makeToyProblem(rng, 40), 20)
+	if len(losses) != 20 {
+		t.Fatalf("got %d losses", len(losses))
+	}
+	// Loss should broadly decrease.
+	if losses[19] >= losses[0] {
+		t.Logf("warning: loss did not decrease: %v -> %v", losses[0], losses[19])
+	}
+	for _, l := range losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("bad loss %v", l)
+		}
+	}
+}
+
+func TestFrozenParamsDoNotMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := toyModel(rng)
+	m.FreezeTowers(true)
+	before := make([][]float64, 0)
+	for _, p := range m.TowerParams() {
+		before = append(before, append([]float64(nil), p.Value.Data()...))
+	}
+	headBefore := append([]float64(nil), m.HeadParams()[0].Value.Data()...)
+	tr := NewTrainer(m, NewAdam(0.01), 8, 4)
+	tr.TrainEpoch(makeToyProblem(rng, 24))
+	for i, p := range m.TowerParams() {
+		for j, v := range p.Value.Data() {
+			if v != before[i][j] {
+				t.Fatal("frozen tower parameter moved")
+			}
+		}
+	}
+	moved := false
+	for j, v := range m.HeadParams()[0].Value.Data() {
+		if v != headBefore[j] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("head parameters did not move")
+	}
+}
+
+func TestSGDAndAdamStepSkipFrozen(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1, 0.9), NewAdam(0.1)} {
+		p := newParam("w", tensor.FromSlice([]float64{1, 2}, 2))
+		p.Grad.Data()[0] = 1
+		p.Grad.Data()[1] = 1
+		frozen := newParam("f", tensor.FromSlice([]float64{5}, 1))
+		frozen.Frozen = true
+		frozen.Grad.Data()[0] = 100
+		opt.Step([]*Param{p, frozen}, 1)
+		if frozen.Value.Data()[0] != 5 {
+			t.Fatalf("%T moved frozen param", opt)
+		}
+		if p.Value.Data()[0] == 1 {
+			t.Fatalf("%T did not move live param", opt)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := toyModel(rng)
+	m.FreezeTowers(true)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []*tensor.Tensor{randInput(rng, 1, 6, 6), randInput(rng, 1, 6, 6)}
+	a := m.Forward(in, false)
+	b := m2.Forward(in, false)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("loaded model differs from saved")
+		}
+	}
+	for i, p := range m2.Params() {
+		if p.Frozen != m.Params()[i].Frozen {
+			t.Fatal("frozen flags lost")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := toyModel(rng)
+	c, err := Clone(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Params()[0].Value.Data()[0] += 100
+	if m.Params()[0].Value.Data()[0] == c.Params()[0].Value.Data()[0] {
+		t.Fatal("clone shares weights")
+	}
+}
+
+func TestReplicaSharesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := toyModel(rng)
+	r := m.Replica()
+	m.Params()[0].Value.Data()[0] = 42
+	if r.Params()[0].Value.Data()[0] != 42 {
+		t.Fatal("replica does not share values")
+	}
+	r.Params()[0].Grad.Data()[0] = 7
+	if m.Params()[0].Grad.Data()[0] == 7 {
+		t.Fatal("replica shares gradients")
+	}
+}
+
+func TestModelSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m := toyModel(rng)
+	s := m.Summary([][]int{{1, 6, 6}, {1, 6, 6}})
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	in := tensor.New(1000)
+	in.Fill(1)
+	out := d.Forward(in, true)
+	zeros := 0
+	for _, v := range out.Data() {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 300 || zeros > 700 {
+		t.Fatalf("dropout zeroed %d of 1000", zeros)
+	}
+	evalOut := d.Forward(in, false)
+	for _, v := range evalOut.Data() {
+		if v != 1 {
+			t.Fatal("dropout must be identity at inference")
+		}
+	}
+}
+
+func TestForwardWrongTowerCountPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	m := toyModel(rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Forward([]*tensor.Tensor{randInput(rng, 1, 6, 6)}, false)
+}

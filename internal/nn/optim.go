@@ -1,0 +1,100 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+// Implementations must skip Frozen parameters (the top-evolvement
+// transfer mechanism relies on it).
+type Optimizer interface {
+	// Step applies one update using the parameters' Grad fields,
+	// dividing by batchSize to average the accumulated sample
+	// gradients.
+	Step(params []*Param, batchSize int)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param][]float64
+}
+
+// NewSGD builds an SGD optimiser.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step applies one SGD update.
+func (o *SGD) Step(params []*Param, batchSize int) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	inv := 1.0 / float64(batchSize)
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		v := o.velocity[p]
+		if v == nil {
+			v = make([]float64, p.Value.Size())
+			o.velocity[p] = v
+		}
+		pd := p.Value.Data()
+		gd := p.Grad.Data()
+		for i := range pd {
+			v[i] = o.Momentum*v[i] - o.LR*gd[i]*inv
+			pd[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimiser (Kingma & Ba) with optional decoupled
+// weight decay (AdamW), the de-facto default for CNN training.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64 // decoupled (AdamW-style); 0 disables
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam builds an Adam optimiser with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update.
+func (o *Adam) Step(params []*Param, batchSize int) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	inv := 1.0 / float64(batchSize)
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = make([]float64, p.Value.Size())
+			v = make([]float64, p.Value.Size())
+			o.m[p] = m
+			o.v[p] = v
+		}
+		pd := p.Value.Data()
+		gd := p.Grad.Data()
+		for i := range pd {
+			g := gd[i] * inv
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			pd[i] -= o.LR * (mHat/(math.Sqrt(vHat)+o.Eps) + o.WeightDecay*pd[i])
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// LayerSpec is the serialisable description of one layer.
+type LayerSpec struct {
+	Type string
+	Ints []int
+	Rate float64
+}
+
+// modelBlob is the gob wire format of a model: architecture plus flat
+// parameter values (shapes are implied by the architecture).
+type modelBlob struct {
+	Towers  [][]LayerSpec
+	Head    []LayerSpec
+	Weights [][]float64
+	Shapes  [][]int
+	Frozen  []bool
+}
+
+// specOf extracts the serialisable description of a layer.
+func specOf(l Layer) (LayerSpec, error) {
+	switch v := l.(type) {
+	case *Conv2D:
+		return LayerSpec{Type: "conv", Ints: []int{v.InC, v.OutC, v.KH, v.KW, v.StrideH, v.StrideW, v.PadH, v.PadW}}, nil
+	case *MaxPool2D:
+		return LayerSpec{Type: "pool", Ints: []int{v.K, v.Stride}}, nil
+	case *AvgPool2D:
+		return LayerSpec{Type: "avgpool", Ints: []int{v.K, v.Stride}}, nil
+	case *LeakyReLU:
+		return LayerSpec{Type: "leakyrelu", Rate: v.Alpha}, nil
+	case *ReLU:
+		return LayerSpec{Type: "relu"}, nil
+	case *Flatten:
+		return LayerSpec{Type: "flatten"}, nil
+	case *Dense:
+		return LayerSpec{Type: "dense", Ints: []int{v.In, v.Out}}, nil
+	case *Dropout:
+		return LayerSpec{Type: "dropout", Rate: v.Rate}, nil
+	default:
+		return LayerSpec{}, fmt.Errorf("nn: cannot serialise layer %T", l)
+	}
+}
+
+// buildLayer reconstructs a layer from its spec. Weighted layers get
+// placeholder parameters that the caller overwrites.
+func buildLayer(s LayerSpec, rng *rand.Rand) (Layer, error) {
+	switch s.Type {
+	case "conv":
+		if len(s.Ints) != 8 {
+			return nil, fmt.Errorf("nn: bad conv spec %v", s)
+		}
+		i := s.Ints
+		return NewConv2D(i[0], i[1], i[2], i[3], i[4], i[5], i[6], i[7], rng), nil
+	case "pool":
+		if len(s.Ints) != 2 {
+			return nil, fmt.Errorf("nn: bad pool spec %v", s)
+		}
+		return NewMaxPool2D(s.Ints[0], s.Ints[1]), nil
+	case "avgpool":
+		if len(s.Ints) != 2 {
+			return nil, fmt.Errorf("nn: bad avgpool spec %v", s)
+		}
+		return NewAvgPool2D(s.Ints[0], s.Ints[1]), nil
+	case "leakyrelu":
+		return NewLeakyReLU(s.Rate), nil
+	case "relu":
+		return NewReLU(), nil
+	case "flatten":
+		return NewFlatten(), nil
+	case "dense":
+		if len(s.Ints) != 2 {
+			return nil, fmt.Errorf("nn: bad dense spec %v", s)
+		}
+		return NewDense(s.Ints[0], s.Ints[1], rng), nil
+	case "dropout":
+		return NewDropout(s.Rate, rng.Int63()), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown layer type %q", s.Type)
+	}
+}
+
+// Save writes the model's architecture and weights to w as gob.
+func Save(w io.Writer, m *Model) error {
+	blob := modelBlob{}
+	for _, tw := range m.Towers {
+		var specs []LayerSpec
+		for _, l := range tw {
+			s, err := specOf(l)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, s)
+		}
+		blob.Towers = append(blob.Towers, specs)
+	}
+	for _, l := range m.Head {
+		s, err := specOf(l)
+		if err != nil {
+			return err
+		}
+		blob.Head = append(blob.Head, s)
+	}
+	for _, p := range m.Params() {
+		blob.Weights = append(blob.Weights, append([]float64(nil), p.Value.Data()...))
+		blob.Shapes = append(blob.Shapes, append([]int(nil), p.Value.Shape()...))
+		blob.Frozen = append(blob.Frozen, p.Frozen)
+	}
+	if err := gob.NewEncoder(w).Encode(blob); err != nil {
+		return fmt.Errorf("nn: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var blob modelBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	rng := rand.New(rand.NewSource(0))
+	m := &Model{}
+	for _, specs := range blob.Towers {
+		var tw []Layer
+		for _, s := range specs {
+			l, err := buildLayer(s, rng)
+			if err != nil {
+				return nil, err
+			}
+			tw = append(tw, l)
+		}
+		m.Towers = append(m.Towers, tw)
+	}
+	for _, s := range blob.Head {
+		l, err := buildLayer(s, rng)
+		if err != nil {
+			return nil, err
+		}
+		m.Head = append(m.Head, l)
+	}
+	params := m.Params()
+	if len(params) != len(blob.Weights) {
+		return nil, fmt.Errorf("nn: weight count mismatch: model has %d, blob has %d",
+			len(params), len(blob.Weights))
+	}
+	// The layers hold pointers to these Param structs, so assigning
+	// through them re-points the whole model at the loaded weights.
+	for i, p := range params {
+		if p.Value.Size() != len(blob.Weights[i]) {
+			return nil, fmt.Errorf("nn: weight %d size mismatch: %d vs %d",
+				i, p.Value.Size(), len(blob.Weights[i]))
+		}
+		p.Value = tensor.FromSlice(blob.Weights[i], blob.Shapes[i]...)
+		p.Grad = tensor.New(blob.Shapes[i]...)
+		p.Frozen = blob.Frozen[i]
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to a file.
+func SaveFile(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: %w", err)
+	}
+	if err := Save(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Clone deep-copies a model (independent weights), used by transfer
+// learning to fork the source-platform model before fine-tuning.
+func Clone(m *Model) (*Model, error) {
+	// Round-trip through the serialiser: one code path to maintain.
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Save(pw, m)
+		pw.Close()
+	}()
+	out, err := Load(pr)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-errc; err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Sample is one training example: one input tensor per tower plus a
+// class label.
+type Sample struct {
+	Inputs []*tensor.Tensor
+	Label  int
+}
+
+// Trainer runs minibatch gradient descent with goroutine data
+// parallelism: each worker owns a model replica sharing parameter
+// values; per-sample gradients accumulate in the replica and are summed
+// into the master before the optimiser step — so a step sees the exact
+// batch gradient regardless of worker count.
+type Trainer struct {
+	Model     *Model
+	Opt       Optimizer
+	BatchSize int
+	Workers   int // <=0 means GOMAXPROCS
+	Rng       *rand.Rand
+
+	replicas []*Model
+}
+
+// NewTrainer builds a trainer with the given batch size.
+func NewTrainer(m *Model, opt Optimizer, batchSize int, seed int64) *Trainer {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &Trainer{Model: m, Opt: opt, BatchSize: batchSize, Rng: rand.New(rand.NewSource(seed))}
+}
+
+func (t *Trainer) workers() int {
+	w := t.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > t.BatchSize {
+		w = t.BatchSize
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ensureReplicas (re)builds worker replicas. Replicas share parameter
+// Values with the master, so they see optimiser updates immediately;
+// they are rebuilt only when the worker count changes.
+func (t *Trainer) ensureReplicas(n int) {
+	if len(t.replicas) == n {
+		return
+	}
+	t.replicas = make([]*Model, n)
+	for i := range t.replicas {
+		t.replicas[i] = t.Model.Replica()
+	}
+}
+
+// trainBatch computes the batch gradient in parallel and applies one
+// optimiser step. It returns the summed loss.
+func (t *Trainer) trainBatch(batch []Sample) float64 {
+	w := t.workers()
+	t.ensureReplicas(w)
+	t.Model.ZeroGrads()
+	losses := make([]float64, w)
+	var wg sync.WaitGroup
+	chunk := (len(batch) + w - 1) / w
+	for wi := 0; wi < w; wi++ {
+		lo := wi * chunk
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			rep := t.replicas[wi]
+			rep.ZeroGrads()
+			sum := 0.0
+			for _, s := range batch[lo:hi] {
+				logits := rep.Forward(s.Inputs, true)
+				loss, grad := CrossEntropyLoss(logits, s.Label)
+				sum += loss
+				rep.Backward(grad)
+			}
+			losses[wi] = sum
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	// Sum replica gradients into the master parameters.
+	master := t.Model.Params()
+	for wi := 0; wi < w; wi++ {
+		rp := t.replicas[wi].Params()
+		for i, p := range master {
+			p.Grad.Add(rp[i].Grad)
+		}
+	}
+	t.Opt.Step(master, len(batch))
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}
+
+// TrainEpoch shuffles the samples and runs them through minibatch
+// steps, returning the mean per-sample loss.
+func (t *Trainer) TrainEpoch(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	order := t.Rng.Perm(len(samples))
+	total := 0.0
+	for lo := 0; lo < len(order); lo += t.BatchSize {
+		hi := lo + t.BatchSize
+		if hi > len(order) {
+			hi = len(order)
+		}
+		batch := make([]Sample, hi-lo)
+		for i, idx := range order[lo:hi] {
+			batch[i] = samples[idx]
+		}
+		total += t.trainBatch(batch)
+	}
+	return total / float64(len(samples))
+}
+
+// TrainSteps runs exactly n minibatch steps (sampling batches with
+// replacement) and returns the per-step mean losses — the loss curves
+// of Figure 11.
+func (t *Trainer) TrainSteps(samples []Sample, n int) []float64 {
+	losses := make([]float64, 0, n)
+	for s := 0; s < n; s++ {
+		batch := make([]Sample, 0, t.BatchSize)
+		for i := 0; i < t.BatchSize; i++ {
+			batch = append(batch, samples[t.Rng.Intn(len(samples))])
+		}
+		loss := t.trainBatch(batch)
+		losses = append(losses, loss/float64(len(batch)))
+	}
+	return losses
+}
+
+// Evaluate returns accuracy and mean loss over the samples, running
+// inference in parallel.
+func (t *Trainer) Evaluate(samples []Sample) (acc, meanLoss float64) {
+	return EvaluateModel(t.Model, samples, t.Workers)
+}
+
+// EvaluateModel computes accuracy and mean cross-entropy of a model over
+// samples with a parallel worker pool.
+func EvaluateModel(m *Model, samples []Sample, workers int) (acc, meanLoss float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	hits := make([]int, workers)
+	losses := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(samples) + workers - 1) / workers
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * chunk
+		hi := lo + chunk
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			rep := m.Replica()
+			for _, s := range samples[lo:hi] {
+				logits := rep.Forward(s.Inputs, false)
+				loss, _ := CrossEntropyLoss(logits, s.Label)
+				losses[wi] += loss
+				if logits.ArgMax() == s.Label {
+					hits[wi]++
+				}
+			}
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	h, l := 0, 0.0
+	for wi := 0; wi < workers; wi++ {
+		h += hits[wi]
+		l += losses[wi]
+	}
+	return float64(h) / float64(len(samples)), l / float64(len(samples))
+}

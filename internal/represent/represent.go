@@ -1,0 +1,270 @@
+// Package represent implements the fixed-size matrix representations of
+// Section 4 of the paper: the traditional scaled binary image, the
+// density augmentation, and the distance-histogram representation
+// (Algorithm 1) that the paper identifies as the most effective input
+// for the CNN selector.
+package represent
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// Kind selects which representation a selector is trained on, matching
+// the three CNN variants of Table 2.
+type Kind int
+
+// Representation kinds.
+const (
+	// KindBinary is the traditional image-scaling normalisation: a
+	// size×size 0/1 map of block occupancy (one input channel).
+	KindBinary Kind = iota
+	// KindBinaryDensity augments binary with the block-density map
+	// (two input channels with heterogeneous value semantics — the
+	// late-merging motivation).
+	KindBinaryDensity
+	// KindHistogram is Algorithm 1: row and column histograms of the
+	// distance |row−col| to the principal diagonal (two channels with
+	// no one-to-one positional correspondence).
+	KindHistogram
+)
+
+// String names the representation as in Table 2.
+func (k Kind) String() string {
+	switch k {
+	case KindBinary:
+		return "Binary"
+	case KindBinaryDensity:
+		return "Binary+Density"
+	case KindHistogram:
+		return "Histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds returns all representation kinds in Table 2 order.
+func Kinds() []Kind { return []Kind{KindBinary, KindBinaryDensity, KindHistogram} }
+
+// Config fixes the representation geometry. The paper uses 128×128
+// images and 128×50 histograms; experiments here default to smaller
+// sizes for pure-Go training speed (see DESIGN.md).
+type Config struct {
+	Kind Kind
+	Size int // image edge / histogram rows
+	Bins int // histogram bins (KindHistogram only)
+}
+
+// Channels returns the number of input channels the representation
+// produces (the number of CNN towers in the late-merging structure).
+func (c Config) Channels() int {
+	if c.Kind == KindBinary {
+		return 1
+	}
+	return 2
+}
+
+// ChannelShape returns the (height, width) of one channel.
+func (c Config) ChannelShape() (int, int) {
+	if c.Kind == KindHistogram {
+		return c.Size, c.Bins
+	}
+	return c.Size, c.Size
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Size <= 0 {
+		return fmt.Errorf("represent: non-positive size %d", c.Size)
+	}
+	if c.Kind == KindHistogram && c.Bins <= 0 {
+		return fmt.Errorf("represent: histogram needs positive bins, got %d", c.Bins)
+	}
+	return nil
+}
+
+// PaperConfig returns the geometry used in the paper's evaluation:
+// 128×128 images, 128×50 histograms (§7.2).
+func PaperConfig(k Kind) Config {
+	c := Config{Kind: k, Size: 128}
+	if k == KindHistogram {
+		c.Bins = 50
+	}
+	return c
+}
+
+// Normalize converts a matrix into the fixed-size tensor channels the
+// CNN consumes. Each returned tensor has shape (1, H, W) — one channel
+// per tower for the late-merging structure; the early-merging baseline
+// stacks them.
+func Normalize(m *sparse.COO, cfg Config) ([]*tensor.Tensor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Kind {
+	case KindBinary:
+		b, _ := binaryDensity(m, cfg.Size)
+		return []*tensor.Tensor{b}, nil
+	case KindBinaryDensity:
+		b, d := binaryDensity(m, cfg.Size)
+		return []*tensor.Tensor{b, d}, nil
+	case KindHistogram:
+		r := HistNorm(m, cfg.Size, cfg.Bins, false)
+		c := HistNorm(m, cfg.Size, cfg.Bins, true)
+		return []*tensor.Tensor{r, c}, nil
+	default:
+		return nil, fmt.Errorf("represent: unknown kind %v", cfg.Kind)
+	}
+}
+
+// binaryDensity down-samples the matrix onto a size×size grid and
+// returns the binary occupancy map and the density map (fraction of
+// each block's cells that are nonzero), the Figure 4/5 representations.
+// Matrices smaller than the grid are handled by the same block mapping
+// (blocks may cover fractional cells; density then uses the true block
+// area).
+func binaryDensity(m *sparse.COO, size int) (binary, density *tensor.Tensor) {
+	rows, cols := m.Dims()
+	binary = tensor.New(1, size, size)
+	density = tensor.New(1, size, size)
+	counts := make([]float64, size*size)
+	for k := range m.Vals {
+		br := int(int64(m.Rows[k]) * int64(size) / int64(rows))
+		bc := int(int64(m.Cols[k]) * int64(size) / int64(cols))
+		counts[br*size+bc]++
+	}
+	bd := binary.Data()
+	dd := density.Data()
+	for i := 0; i < size; i++ {
+		// Block area in original cells: rows in block i × cols in block j.
+		r0 := int(int64(i) * int64(rows) / int64(size))
+		r1 := int(int64(i+1) * int64(rows) / int64(size))
+		if r1 == r0 {
+			r1 = r0 + 1
+		}
+		for j := 0; j < size; j++ {
+			c0 := int(int64(j) * int64(cols) / int64(size))
+			c1 := int(int64(j+1) * int64(cols) / int64(size))
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			cnt := counts[i*size+j]
+			if cnt > 0 {
+				bd[i*size+j] = 1
+				area := float64((r1 - r0) * (c1 - c0))
+				d := cnt / area
+				if d > 1 {
+					d = 1
+				}
+				dd[i*size+j] = d
+			}
+		}
+	}
+	return binary, density
+}
+
+// HistNorm is Algorithm 1 of the paper: it builds an r×bins histogram
+// tensor where row i aggregates the original rows mapped onto it and bin
+// b counts nonzeros whose distance |row−col| from the principal diagonal
+// falls in [b, b+1)·MaxDim/bins. byColumn builds the column-histogram
+// variant (distance histogram over columns instead of rows). Values are
+// normalised to [0,1] by the maximum bin count.
+func HistNorm(m *sparse.COO, r, bins int, byColumn bool) *tensor.Tensor {
+	rows, cols := m.Dims()
+	out := tensor.New(1, r, bins)
+	data := out.Data()
+	primary := rows
+	if byColumn {
+		primary = cols
+	}
+	maxDim := rows
+	if cols > maxDim {
+		maxDim = cols
+	}
+	for k := range m.Vals {
+		p := int(m.Rows[k])
+		if byColumn {
+			p = int(m.Cols[k])
+		}
+		// Row index in the histogram (line 8 of Algorithm 1, in integer
+		// arithmetic to avoid the float ScaleRatio edge cases).
+		hr := int(int64(p) * int64(r) / int64(primary))
+		dist := int(m.Rows[k]) - int(m.Cols[k])
+		if dist < 0 {
+			dist = -dist
+		}
+		// Bin index (line 9). dist < maxDim always, so bin < bins except
+		// in the dist == maxDim-0 corner; clamp for safety.
+		bin := int(int64(bins) * int64(dist) / int64(maxDim))
+		if bin >= bins {
+			bin = bins - 1
+		}
+		data[hr*bins+bin]++
+	}
+	// Normalise to [0,1] by the largest bin (final step of §4).
+	max := 0.0
+	for _, v := range data {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for i := range data {
+			data[i] /= max
+		}
+	}
+	return out
+}
+
+// SampleNorm is the third traditional normalisation §4 mentions
+// alongside cropping and scaling: sample `size` rows and columns of the
+// original matrix (evenly spaced) and emit the binary occupancy of the
+// sampled sub-grid. Like scaling it loses the subtle structure that
+// format selection needs — kept as the explored-and-rejected baseline
+// it is in the paper, and for the representation ablations.
+func SampleNorm(m *sparse.COO, size int) *tensor.Tensor {
+	rows, cols := m.Dims()
+	out := tensor.New(1, size, size)
+	// Membership maps from original index to sampled slot (or -1).
+	rowSlot := make([]int32, rows)
+	for i := range rowSlot {
+		rowSlot[i] = -1
+	}
+	colSlot := make([]int32, cols)
+	for j := range colSlot {
+		colSlot[j] = -1
+	}
+	for s := 0; s < size; s++ {
+		ri := int(int64(s) * int64(rows) / int64(size))
+		ci := int(int64(s) * int64(cols) / int64(size))
+		rowSlot[ri] = int32(s)
+		colSlot[ci] = int32(s)
+	}
+	d := out.Data()
+	for k := range m.Vals {
+		r := rowSlot[m.Rows[k]]
+		c := colSlot[m.Cols[k]]
+		if r >= 0 && c >= 0 {
+			d[int(r)*size+int(c)] = 1
+		}
+	}
+	return out
+}
+
+// CropNorm is the first traditional normalisation §4 mentions: keep the
+// top-left size×size window of the original matrix as a binary map,
+// discarding everything outside it. Kept for the same reason as
+// SampleNorm.
+func CropNorm(m *sparse.COO, size int) *tensor.Tensor {
+	out := tensor.New(1, size, size)
+	d := out.Data()
+	for k := range m.Vals {
+		r, c := int(m.Rows[k]), int(m.Cols[k])
+		if r < size && c < size {
+			d[r*size+c] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package selector
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// Amortised selection (§7.6): when matrices are generated and consumed
+// on the fly, prediction and format conversion happen at runtime, so
+// the best choice depends on how many SpMV iterations will amortise the
+// conversion. PredictAmortized folds the modelled conversion cost into
+// the decision: it starts from the CNN's probability ranking and picks
+// the format minimising expected total time
+//
+//	convert(format) + iters · spmv(format)
+//
+// falling back towards the resident format (typically CSR) when the
+// iteration count is too small to pay for a conversion — the behaviour
+// the paper describes as "predict the format that minimizes the overall
+// time including the overhead".
+type AmortizedChoice struct {
+	Format       sparse.Format
+	Probability  float64 // CNN probability of the chosen format
+	EstTotalSec  float64 // modelled convert + iters·spmv
+	ConvertedSec float64 // modelled conversion cost alone
+}
+
+// PredictAmortized chooses a format for iters SpMV iterations on the
+// given platform, starting from resident (the format the matrix already
+// occupies; conversion to it is free).
+func (s *Selector) PredictAmortized(m *sparse.COO, p *machine.Platform, resident sparse.Format, iters int) (AmortizedChoice, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	_, probs, err := s.Predict(m)
+	if err != nil {
+		return AmortizedChoice{}, err
+	}
+	st := sparse.ComputeStats(m)
+	// Conversion ops execute at roughly memory speed; model them as
+	// element moves over the platform bandwidth.
+	convSec := func(f sparse.Format) float64 {
+		if f == resident {
+			return 0
+		}
+		ops := sparse.ConversionOps(m, f)
+		return float64(ops) * 16 / (p.MemBandwidthGBs * 1e9 * 0.5)
+	}
+	best := AmortizedChoice{Format: resident, EstTotalSec: float64(iters) * p.EstimateSeconds(st, resident)}
+	best.Probability = probs[resident]
+	for _, f := range s.Cfg.Formats {
+		conv := convSec(f)
+		total := conv + float64(iters)*p.EstimateSeconds(st, f)
+		if total < best.EstTotalSec {
+			best = AmortizedChoice{Format: f, Probability: probs[f], EstTotalSec: total, ConvertedSec: conv}
+		}
+	}
+	return best, nil
+}
+
+// RankFormats returns the CNN's format ranking by probability, most
+// likely first — useful for diagnostics and for fallback strategies
+// that try the runner-up when a conversion fails a memory budget.
+func (s *Selector) RankFormats(m *sparse.COO) ([]sparse.Format, []float64, error) {
+	_, probs, err := s.Predict(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs := append([]sparse.Format(nil), s.Cfg.Formats...)
+	sort.Slice(fs, func(i, j int) bool { return probs[fs[i]] > probs[fs[j]] })
+	ps := make([]float64, len(fs))
+	for i, f := range fs {
+		ps[i] = probs[f]
+	}
+	return fs, ps, nil
+}
+
+// String renders the choice.
+func (c AmortizedChoice) String() string {
+	return fmt.Sprintf("%s (p=%.2f, est %.3g s incl. %.3g s conversion)",
+		c.Format, c.Probability, c.EstTotalSec, c.ConvertedSec)
+}

@@ -1,0 +1,79 @@
+package selector
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/represent"
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+func trainedTinySelector(t *testing.T) *Selector {
+	t.Helper()
+	d := cpuDataset(t, 120)
+	cfg := fastConfig(represent.KindHistogram)
+	cfg.Epochs = 10
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Train(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPredictAmortizedFewItersStaysResident(t *testing.T) {
+	s := trainedTinySelector(t)
+	p := machine.XeonLike()
+	m := synthgen.Banded(4096, 1, 1.0, 3) // DIA-friendly
+	// One iteration cannot amortise a conversion away from CSR.
+	one, err := s.PredictAmortized(m, p, sparse.FormatCSR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thousands of iterations should justify converting to the faster
+	// format.
+	many, err := s.PredictAmortized(m, p, sparse.FormatCSR, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("1 iter -> %v; 100000 iters -> %v", one, many)
+	if one.Format != sparse.FormatCSR {
+		t.Fatalf("single iteration chose %v; conversion cannot amortise", one.Format)
+	}
+	if many.Format == sparse.FormatCSR {
+		t.Fatalf("100000 iterations still chose the resident format")
+	}
+	if many.EstTotalSec <= 0 || one.EstTotalSec <= 0 {
+		t.Fatal("non-positive estimates")
+	}
+	if one.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRankFormats(t *testing.T) {
+	s := trainedTinySelector(t)
+	m := synthgen.Random(512, 512, 4000, 5)
+	fs, ps, err := s.RankFormats(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 4 || len(ps) != 4 {
+		t.Fatalf("rank lengths %d/%d", len(fs), len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] > ps[i-1] {
+			t.Fatal("probabilities not descending")
+		}
+	}
+	sum := 0.0
+	for _, p := range ps {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probabilities sum %v", sum)
+	}
+}

@@ -1,0 +1,86 @@
+package selector
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// buildTower constructs one convolutional tower for an input of shape
+// (inC, h, w), returning the layers and the flattened feature size.
+func buildTower(cfg Config, inC, h, w int, rng *rand.Rand) ([]nn.Layer, int, error) {
+	var layers []nn.Layer
+	shape := []int{inC, h, w}
+	for i, b := range cfg.Blocks {
+		pad := b.Kernel / 2
+		if shape[1] < b.Kernel && shape[1]+2*pad < b.Kernel {
+			return nil, 0, fmt.Errorf("selector: block %d kernel %d too large for input %v", i, b.Kernel, shape)
+		}
+		conv := nn.NewConv2D(shape[0], b.Channels, b.Kernel, b.Kernel, b.Stride, b.Stride, pad, pad, rng)
+		layers = append(layers, conv, nn.NewReLU())
+		shape = conv.OutShape(shape)
+		if b.Pool > 1 && shape[1] >= b.Pool && shape[2] >= b.Pool {
+			pool := nn.NewMaxPool2D(b.Pool, b.Pool)
+			layers = append(layers, pool)
+			shape = pool.OutShape(shape)
+		}
+	}
+	layers = append(layers, nn.NewFlatten())
+	return layers, shape[0] * shape[1] * shape[2], nil
+}
+
+// BuildModel constructs the CNN for the configuration: one tower per
+// representation channel under late merging, or a single stacked-channel
+// tower under early merging; in both cases the head is
+// Dense→ReLU→Dense(K) with softmax applied by the loss/prediction.
+func BuildModel(cfg Config) (*nn.Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h, w := cfg.Represent.ChannelShape()
+	channels := cfg.Represent.Channels()
+	var towers [][]nn.Layer
+	featSize := 0
+	if cfg.Structure == EarlyMerging {
+		tw, size, err := buildTower(cfg, channels, h, w, rng)
+		if err != nil {
+			return nil, err
+		}
+		towers = [][]nn.Layer{tw}
+		featSize = size
+	} else {
+		for c := 0; c < channels; c++ {
+			tw, size, err := buildTower(cfg, 1, h, w, rng)
+			if err != nil {
+				return nil, err
+			}
+			towers = append(towers, tw)
+			featSize += size
+		}
+	}
+	head := []nn.Layer{
+		nn.NewDense(featSize, cfg.HiddenUnits, rng),
+		nn.NewReLU(),
+	}
+	if cfg.DropoutRate > 0 {
+		head = append(head, nn.NewDropout(cfg.DropoutRate, cfg.Seed+31))
+	}
+	head = append(head, nn.NewDense(cfg.HiddenUnits, len(cfg.Formats), rng))
+	return nn.NewModel(towers, head), nil
+}
+
+// InputShapes returns the per-tower input shapes for the configuration,
+// for use with Model.Summary.
+func InputShapes(cfg Config) [][]int {
+	h, w := cfg.Represent.ChannelShape()
+	if cfg.Structure == EarlyMerging {
+		return [][]int{{cfg.Represent.Channels(), h, w}}
+	}
+	shapes := make([][]int, cfg.Represent.Channels())
+	for i := range shapes {
+		shapes[i] = []int{1, h, w}
+	}
+	return shapes
+}

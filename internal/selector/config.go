@@ -1,0 +1,126 @@
+// Package selector is the paper's primary contribution: a CNN-based
+// sparse-matrix storage-format selector for SpMV. It composes the
+// representation pipeline (Section 4), the late-merging CNN structure
+// (Section 5, Figures 7 and 10), cross-architecture transfer learning
+// (Section 6), and the evaluation metrics of Tables 2 and 3.
+package selector
+
+import (
+	"fmt"
+
+	"repro/internal/represent"
+	"repro/internal/sparse"
+)
+
+// Structure selects the CNN merging strategy compared in Figure 11.
+type Structure int
+
+// Merging structures.
+const (
+	// LateMerging runs one convolutional tower per input source and
+	// concatenates features only before the fully connected head
+	// (Figure 7) — the paper's proposal.
+	LateMerging Structure = iota
+	// EarlyMerging stacks all input sources as channels of a single
+	// tower (Figure 6) — the traditional image-processing structure.
+	EarlyMerging
+)
+
+// String names the structure.
+func (s Structure) String() string {
+	if s == EarlyMerging {
+		return "early-merging"
+	}
+	return "late-merging"
+}
+
+// ConvBlock describes one CONV→ReLU→POOL stage of a tower.
+type ConvBlock struct {
+	Channels int // filters
+	Kernel   int // square kernel edge
+	Stride   int
+	Pool     int // pooling window (0 = no pooling)
+}
+
+// Config describes a selector: its input representation, CNN structure
+// and training hyperparameters.
+type Config struct {
+	Represent represent.Config
+	Structure Structure
+	Formats   []sparse.Format // label classes, in fixed order
+
+	Blocks      []ConvBlock // tower stages
+	HiddenUnits int         // width of the penultimate dense layer
+	DropoutRate float64     // dropout on the hidden dense layer (0 = off)
+
+	// Training hyperparameters.
+	LearningRate float64
+	WeightDecay  float64 // decoupled weight decay (AdamW)
+	// LRDecayAt drops the learning rate 5x after this fraction of the
+	// epochs (0 disables; default 0.7).
+	LRDecayAt float64
+	BatchSize int
+	Epochs    int
+	Workers   int // data-parallel training workers (<=0: GOMAXPROCS)
+	Seed      int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Represent.Validate(); err != nil {
+		return err
+	}
+	if len(c.Formats) < 2 {
+		return fmt.Errorf("selector: need at least 2 formats, got %d", len(c.Formats))
+	}
+	if len(c.Blocks) == 0 {
+		return fmt.Errorf("selector: no conv blocks configured")
+	}
+	if c.HiddenUnits <= 0 {
+		return fmt.Errorf("selector: non-positive hidden units %d", c.HiddenUnits)
+	}
+	return nil
+}
+
+// DefaultConfig returns the scaled-down experiment geometry used by the
+// test suite and default experiment drivers: 32×32 inputs (32×16
+// histograms) and a two-block tower. Pure-Go training on this geometry
+// takes seconds, and the relative effects the paper reports (histogram >
+// density > binary; late > early merging) already show at this scale.
+func DefaultConfig(kind represent.Kind, formats []sparse.Format) Config {
+	rep := represent.Config{Kind: kind, Size: 32, Bins: 16}
+	return Config{
+		Represent: rep,
+		Structure: LateMerging,
+		Formats:   append([]sparse.Format(nil), formats...),
+		Blocks: []ConvBlock{
+			{Channels: 8, Kernel: 3, Stride: 1, Pool: 2},
+			{Channels: 16, Kernel: 3, Stride: 2, Pool: 2},
+		},
+		HiddenUnits:  48,
+		DropoutRate:  0.25,
+		LearningRate: 0.002,
+		WeightDecay:  1e-4,
+		LRDecayAt:    0.7,
+		BatchSize:    32,
+		Epochs:       30,
+		Seed:         1,
+	}
+}
+
+// PaperConfig returns the full Figure 10 geometry: 128×128 inputs
+// (128×50 histograms), three conv blocks of 16/32/32 filters with
+// strides 1/2/2 and 2×2 pooling, and the dense head. Training this in
+// pure Go is possible but slow; it exists so the published architecture
+// is constructible and shape-verified.
+func PaperConfig(kind represent.Kind, formats []sparse.Format) Config {
+	c := DefaultConfig(kind, formats)
+	c.Represent = represent.PaperConfig(kind)
+	c.Blocks = []ConvBlock{
+		{Channels: 16, Kernel: 3, Stride: 1, Pool: 2},
+		{Channels: 32, Kernel: 3, Stride: 2, Pool: 2},
+		{Channels: 32, Kernel: 3, Stride: 2, Pool: 2},
+	}
+	c.HiddenUnits = 64
+	return c
+}

@@ -1,0 +1,106 @@
+package selector
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/represent"
+	"repro/internal/sparse"
+)
+
+// selectorHeader is the serialised metadata preceding the model blob.
+type selectorHeader struct {
+	RepKind     int
+	RepSize     int
+	RepBins     int
+	Structure   int
+	Formats     []int
+	Blocks      []ConvBlock
+	HiddenUnits int
+	Dropout     float64
+	LR          float64
+	BatchSize   int
+	Epochs      int
+	Seed        int64
+}
+
+// selectorBlob is the single gob value on the wire: the header plus the
+// nn model's own serialised bytes (gob decoders read ahead, so nesting
+// the model bytes avoids two decoders sharing one stream).
+type selectorBlob struct {
+	Header selectorHeader
+	Model  []byte
+}
+
+// Save writes the selector (config + weights) to w.
+func (s *Selector) Save(w io.Writer) error {
+	h := selectorHeader{
+		RepKind: int(s.Cfg.Represent.Kind), RepSize: s.Cfg.Represent.Size, RepBins: s.Cfg.Represent.Bins,
+		Structure: int(s.Cfg.Structure), Blocks: s.Cfg.Blocks, HiddenUnits: s.Cfg.HiddenUnits,
+		Dropout: s.Cfg.DropoutRate,
+		LR:      s.Cfg.LearningRate, BatchSize: s.Cfg.BatchSize, Epochs: s.Cfg.Epochs, Seed: s.Cfg.Seed,
+	}
+	for _, f := range s.Cfg.Formats {
+		h.Formats = append(h.Formats, int(f))
+	}
+	var mbuf bytes.Buffer
+	if err := nn.Save(&mbuf, s.Model); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(selectorBlob{Header: h, Model: mbuf.Bytes()}); err != nil {
+		return fmt.Errorf("selector: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads a selector written by Save.
+func Load(r io.Reader) (*Selector, error) {
+	var blob selectorBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("selector: decoding: %w", err)
+	}
+	h := blob.Header
+	cfg := Config{
+		Represent:    represent.Config{Kind: represent.Kind(h.RepKind), Size: h.RepSize, Bins: h.RepBins},
+		Structure:    Structure(h.Structure),
+		Blocks:       h.Blocks,
+		HiddenUnits:  h.HiddenUnits,
+		DropoutRate:  h.Dropout,
+		LearningRate: h.LR, BatchSize: h.BatchSize, Epochs: h.Epochs, Seed: h.Seed,
+	}
+	for _, f := range h.Formats {
+		cfg.Formats = append(cfg.Formats, sparse.Format(f))
+	}
+	m, err := nn.Load(bytes.NewReader(blob.Model))
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{Cfg: cfg, Model: m}, nil
+}
+
+// SaveFile writes the selector to a file.
+func (s *Selector) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("selector: %w", err)
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a selector from a file.
+func LoadFile(path string) (*Selector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("selector: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,108 @@
+package selector
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// Metrics accumulates a confusion matrix and derives the prediction-
+// quality measures of Tables 2 and 3: overall accuracy and per-format
+// precision and recall.
+type Metrics struct {
+	Formats   []sparse.Format
+	Confusion [][]int // [true class][predicted class]
+}
+
+// NewMetrics builds an empty metrics accumulator.
+func NewMetrics(formats []sparse.Format) *Metrics {
+	conf := make([][]int, len(formats))
+	for i := range conf {
+		conf[i] = make([]int, len(formats))
+	}
+	return &Metrics{Formats: append([]sparse.Format(nil), formats...), Confusion: conf}
+}
+
+// Add records one (true, predicted) pair of class indices.
+func (m *Metrics) Add(trueClass, predClass int) {
+	m.Confusion[trueClass][predClass]++
+}
+
+// Total returns the number of recorded samples.
+func (m *Metrics) Total() int {
+	t := 0
+	for _, row := range m.Confusion {
+		for _, c := range row {
+			t += c
+		}
+	}
+	return t
+}
+
+// Accuracy is the overall fraction of correct predictions ("the number
+// of correct predictions over the total number of matrices").
+func (m *Metrics) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range m.Confusion {
+		hit += m.Confusion[i][i]
+	}
+	return float64(hit) / float64(total)
+}
+
+// Support returns the number of samples whose true class is i (the
+// "Ground Truth" column).
+func (m *Metrics) Support(i int) int {
+	s := 0
+	for _, c := range m.Confusion[i] {
+		s += c
+	}
+	return s
+}
+
+// Recall on format i: fraction of true-i samples predicted i.
+func (m *Metrics) Recall(i int) float64 {
+	sup := m.Support(i)
+	if sup == 0 {
+		return 0
+	}
+	return float64(m.Confusion[i][i]) / float64(sup)
+}
+
+// Precision on format i: fraction of predicted-i samples that are
+// truly i.
+func (m *Metrics) Precision(i int) float64 {
+	pred := 0
+	for t := range m.Confusion {
+		pred += m.Confusion[t][i]
+	}
+	if pred == 0 {
+		return 0
+	}
+	return float64(m.Confusion[i][i]) / float64(pred)
+}
+
+// Merge adds another metrics accumulator (e.g. across CV folds); the
+// format sets must match.
+func (m *Metrics) Merge(o *Metrics) {
+	for i := range m.Confusion {
+		for j := range m.Confusion[i] {
+			m.Confusion[i][j] += o.Confusion[i][j]
+		}
+	}
+}
+
+// String renders a Table 2-style block.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %8s %8s\n", "Format", "GroundTruth", "Recall", "Precis.")
+	for i, f := range m.Formats {
+		fmt.Fprintf(&b, "%-8s %12d %8.2f %8.2f\n", f, m.Support(i), m.Recall(i), m.Precision(i))
+	}
+	fmt.Fprintf(&b, "%-8s %12d %17.2f\n", "Overall", m.Total(), m.Accuracy())
+	return b.String()
+}

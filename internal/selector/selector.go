@@ -1,0 +1,239 @@
+package selector
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/represent"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// Selector is a trained (or trainable) CNN format selector.
+type Selector struct {
+	Cfg   Config
+	Model *nn.Model
+}
+
+// New builds an untrained selector.
+func New(cfg Config) (*Selector, error) {
+	m, err := BuildModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{Cfg: cfg, Model: m}, nil
+}
+
+// inputsFor normalises a matrix into the model's tower inputs.
+func (s *Selector) inputsFor(m *sparse.COO) ([]*tensor.Tensor, error) {
+	chans, err := represent.Normalize(m, s.Cfg.Represent)
+	if err != nil {
+		return nil, err
+	}
+	if s.Cfg.Structure == EarlyMerging && len(chans) > 1 {
+		return []*tensor.Tensor{stackChannels(chans)}, nil
+	}
+	return chans, nil
+}
+
+// stackChannels concatenates (1,H,W) tensors into one (C,H,W) tensor.
+func stackChannels(chans []*tensor.Tensor) *tensor.Tensor {
+	h, w := chans[0].Dim(1), chans[0].Dim(2)
+	out := tensor.New(len(chans), h, w)
+	for c, t := range chans {
+		copy(out.Data()[c*h*w:(c+1)*h*w], t.Data())
+	}
+	return out
+}
+
+// Predict returns the predicted best format and per-format
+// probabilities for a matrix (inference, Figure 3 right half).
+func (s *Selector) Predict(m *sparse.COO) (sparse.Format, map[sparse.Format]float64, error) {
+	inputs, err := s.inputsFor(m)
+	if err != nil {
+		return 0, nil, err
+	}
+	cls, probs := s.Model.Predict(inputs)
+	out := make(map[sparse.Format]float64, len(probs))
+	for i, p := range probs {
+		out[s.Cfg.Formats[i]] = p
+	}
+	return s.Cfg.Formats[cls], out, nil
+}
+
+// classOf maps a dataset label to the selector's class index.
+func (s *Selector) classOf(f sparse.Format) (int, error) {
+	for i, g := range s.Cfg.Formats {
+		if g == f {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("selector: label %v not in configured formats %v", f, s.Cfg.Formats)
+}
+
+// Samples normalises the given dataset records (all of them when idx is
+// nil) into nn training samples, in parallel.
+func (s *Selector) Samples(d *dataset.Dataset, idx []int) ([]nn.Sample, error) {
+	if idx == nil {
+		idx = make([]int, len(d.Records))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	samples := make([]nn.Sample, len(idx))
+	workers := s.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(idx) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				r := &d.Records[idx[k]]
+				inputs, err := s.inputsFor(r.Matrix())
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				label, err := s.classOf(r.Label)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				samples[k] = nn.Sample{Inputs: inputs, Label: label}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+// Train fits the selector on the given dataset records (step 4 of
+// Figure 3). It returns the per-epoch training losses.
+func (s *Selector) Train(d *dataset.Dataset, idx []int) ([]float64, error) {
+	samples, err := s.Samples(d, idx)
+	if err != nil {
+		return nil, err
+	}
+	return s.TrainSamples(samples), nil
+}
+
+// TrainSamples fits the selector on pre-built samples, dropping the
+// learning rate 5x after the LRDecayAt fraction of the epochs.
+func (s *Selector) TrainSamples(samples []nn.Sample) []float64 {
+	opt := nn.NewAdam(s.Cfg.LearningRate)
+	opt.WeightDecay = s.Cfg.WeightDecay
+	tr := nn.NewTrainer(s.Model, opt, s.Cfg.BatchSize, s.Cfg.Seed+101)
+	tr.Workers = s.Cfg.Workers
+	decayEpoch := s.Cfg.Epochs + 1
+	if s.Cfg.LRDecayAt > 0 && s.Cfg.LRDecayAt < 1 {
+		decayEpoch = int(float64(s.Cfg.Epochs) * s.Cfg.LRDecayAt)
+	}
+	losses := make([]float64, 0, s.Cfg.Epochs)
+	for e := 0; e < s.Cfg.Epochs; e++ {
+		if e == decayEpoch {
+			opt.LR = s.Cfg.LearningRate * 0.2
+		}
+		losses = append(losses, tr.TrainEpoch(samples))
+	}
+	return losses
+}
+
+// TrainSteps runs exactly n minibatch steps and returns per-step losses
+// — the Figure 11 convergence curves.
+func (s *Selector) TrainSteps(samples []nn.Sample, n int) []float64 {
+	return s.newTrainer().TrainSteps(samples, n)
+}
+
+func (s *Selector) newTrainer() *nn.Trainer {
+	tr := nn.NewTrainer(s.Model, nn.NewAdam(s.Cfg.LearningRate), s.Cfg.BatchSize, s.Cfg.Seed+101)
+	tr.Workers = s.Cfg.Workers
+	return tr
+}
+
+// Evaluate runs the selector over the given records and returns the
+// Table 2/3 metrics.
+func (s *Selector) Evaluate(d *dataset.Dataset, idx []int) (*Metrics, error) {
+	samples, err := s.Samples(d, idx)
+	if err != nil {
+		return nil, err
+	}
+	return s.EvaluateSamples(samples), nil
+}
+
+// EvaluateSamples computes metrics over pre-built samples.
+func (s *Selector) EvaluateSamples(samples []nn.Sample) *Metrics {
+	m := NewMetrics(s.Cfg.Formats)
+	preds := predictAll(s.Model, samples, s.Cfg.Workers)
+	for i, sm := range samples {
+		m.Add(sm.Label, preds[i])
+	}
+	return m
+}
+
+// predictAll runs inference over samples with a parallel worker pool.
+func predictAll(model *nn.Model, samples []nn.Sample, workers int) []int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	preds := make([]int, len(samples))
+	var wg sync.WaitGroup
+	chunk := (len(samples) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rep := model.Replica()
+			for i := lo; i < hi; i++ {
+				cls, _ := rep.Predict(samples[i].Inputs)
+				preds[i] = cls
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return preds
+}
+
+// Summary renders the architecture (the Figure 10 diagram as text).
+func (s *Selector) Summary() string {
+	return fmt.Sprintf("%s structure, %s representation\n%s",
+		s.Cfg.Structure, s.Cfg.Represent.Kind, s.Model.Summary(InputShapes(s.Cfg)))
+}

@@ -1,0 +1,139 @@
+package sparse
+
+import (
+	"fmt"
+)
+
+// COO stores a sparse matrix in coordinate (triplet) form: parallel
+// arrays of row index, column index and value, exactly as in Figure 1 of
+// the paper. Canonical COO is sorted row-major with no duplicate or
+// explicit-zero entries; NewCOO establishes that invariant.
+type COO struct {
+	rows, cols int
+	Rows       []int32
+	Cols       []int32
+	Vals       []float64
+}
+
+// NewCOO builds a canonical COO matrix from triplet entries. Duplicate
+// (row,col) entries are summed; entries that sum to zero are dropped.
+// It returns an error when an index is out of range.
+func NewCOO(rows, cols int, entries []Entry) (*COO, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: non-positive dimensions %dx%d", rows, cols)
+	}
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	for _, e := range es {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range for %dx%d matrix",
+				e.Row, e.Col, rows, cols)
+		}
+	}
+	sortEntries(es)
+	c := &COO{rows: rows, cols: cols}
+	for i := 0; i < len(es); {
+		j := i + 1
+		v := es[i].Val
+		for j < len(es) && es[j].Row == es[i].Row && es[j].Col == es[i].Col {
+			v += es[j].Val
+			j++
+		}
+		if v != 0 {
+			c.Rows = append(c.Rows, int32(es[i].Row))
+			c.Cols = append(c.Cols, int32(es[i].Col))
+			c.Vals = append(c.Vals, v)
+		}
+		i = j
+	}
+	return c, nil
+}
+
+// MustCOO is NewCOO that panics on error; for use with known-good data
+// such as generators and tests.
+func MustCOO(rows, cols int, entries []Entry) *COO {
+	c, err := NewCOO(rows, cols, entries)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dims returns (rows, cols).
+func (c *COO) Dims() (int, int) { return c.rows, c.cols }
+
+// NNZ returns the number of stored nonzeros.
+func (c *COO) NNZ() int { return len(c.Vals) }
+
+// Format returns FormatCOO.
+func (c *COO) Format() Format { return FormatCOO }
+
+// ToCOO returns the receiver itself (COO is canonical).
+func (c *COO) ToCOO() *COO { return c }
+
+// Bytes reports the storage footprint: two 4-byte indices and one 8-byte
+// value per nonzero.
+func (c *COO) Bytes() int64 { return int64(c.NNZ()) * (4 + 4 + 8) }
+
+// MulVec computes y = A·x with the COO SpMV loop from Figure 1.
+func (c *COO) MulVec(y, x []float64) {
+	checkMulVecDims(c.rows, c.cols, y, x, FormatCOO)
+	for i := range y {
+		y[i] = 0
+	}
+	for k, v := range c.Vals {
+		y[c.Rows[k]] += v * x[c.Cols[k]]
+	}
+}
+
+// Entries returns the nonzeros as a fresh triplet slice in canonical
+// (row-major) order.
+func (c *COO) Entries() []Entry {
+	es := make([]Entry, c.NNZ())
+	for k := range es {
+		es[k] = Entry{Row: int(c.Rows[k]), Col: int(c.Cols[k]), Val: c.Vals[k]}
+	}
+	return es
+}
+
+// Dense materialises the matrix as a dense row-major slice of length
+// rows*cols. Intended for tests and small matrices only.
+func (c *COO) Dense() []float64 {
+	d := make([]float64, c.rows*c.cols)
+	for k, v := range c.Vals {
+		d[int(c.Rows[k])*c.cols+int(c.Cols[k])] = v
+	}
+	return d
+}
+
+// RowCounts returns the number of nonzeros in each row.
+func (c *COO) RowCounts() []int {
+	counts := make([]int, c.rows)
+	for _, r := range c.Rows {
+		counts[r]++
+	}
+	return counts
+}
+
+// Transpose returns Aᵀ in canonical COO form.
+func (c *COO) Transpose() *COO {
+	es := make([]Entry, c.NNZ())
+	for k := range es {
+		es[k] = Entry{Row: int(c.Cols[k]), Col: int(c.Rows[k]), Val: c.Vals[k]}
+	}
+	return MustCOO(c.cols, c.rows, es)
+}
+
+// Equal reports whether two COO matrices have identical dimensions and
+// nonzero structure/values. Both are assumed canonical.
+func (c *COO) Equal(o *COO) bool {
+	if c.rows != o.rows || c.cols != o.cols || len(c.Vals) != len(o.Vals) {
+		return false
+	}
+	for k := range c.Vals {
+		if c.Rows[k] != o.Rows[k] || c.Cols[k] != o.Cols[k] || c.Vals[k] != o.Vals[k] {
+			return false
+		}
+	}
+	return true
+}

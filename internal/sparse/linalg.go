@@ -1,0 +1,117 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Elementary sparse linear algebra on canonical COO — the utility
+// surface a solver library expects around its SpMV core.
+
+// Add returns a + b. Dimensions must match.
+func Add(a, b *COO) (*COO, error) {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return nil, fmt.Errorf("sparse: Add dimension mismatch %dx%d vs %dx%d", ar, ac, br, bc)
+	}
+	es := append(a.Entries(), b.Entries()...)
+	return NewCOO(ar, ac, es)
+}
+
+// Scale returns s·a.
+func Scale(a *COO, s float64) *COO {
+	rows, cols := a.Dims()
+	es := a.Entries()
+	for i := range es {
+		es[i].Val *= s
+	}
+	return MustCOO(rows, cols, es)
+}
+
+// Diagonal extracts the principal diagonal as a dense vector of length
+// min(rows, cols).
+func Diagonal(a *COO) []float64 {
+	rows, cols := a.Dims()
+	n := rows
+	if cols < n {
+		n = cols
+	}
+	d := make([]float64, n)
+	for k := range a.Vals {
+		if a.Rows[k] == a.Cols[k] {
+			d[a.Rows[k]] = a.Vals[k]
+		}
+	}
+	return d
+}
+
+// WithDiagonal returns a copy of a whose principal diagonal is replaced
+// by d (len(d) = min(rows, cols)); useful for Jacobi-style shifts.
+func WithDiagonal(a *COO, d []float64) (*COO, error) {
+	rows, cols := a.Dims()
+	n := rows
+	if cols < n {
+		n = cols
+	}
+	if len(d) != n {
+		return nil, fmt.Errorf("sparse: WithDiagonal needs %d values, got %d", n, len(d))
+	}
+	var es []Entry
+	for k := range a.Vals {
+		if a.Rows[k] != a.Cols[k] {
+			es = append(es, Entry{Row: int(a.Rows[k]), Col: int(a.Cols[k]), Val: a.Vals[k]})
+		}
+	}
+	for i, v := range d {
+		if v != 0 {
+			es = append(es, Entry{Row: i, Col: i, Val: v})
+		}
+	}
+	return NewCOO(rows, cols, es)
+}
+
+// IsSymmetric reports whether a equals its transpose (pattern and
+// values).
+func IsSymmetric(a *COO) bool {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return false
+	}
+	return a.Equal(a.Transpose())
+}
+
+// IsDiagonallyDominant reports whether |a_ii| >= Σ_{j≠i} |a_ij| for
+// every row — the classical sufficient condition for Jacobi/Gauss-
+// Seidel convergence.
+func IsDiagonallyDominant(a *COO) bool {
+	rows, _ := a.Dims()
+	diag := make([]float64, rows)
+	off := make([]float64, rows)
+	for k := range a.Vals {
+		v := a.Vals[k]
+		if v < 0 {
+			v = -v
+		}
+		if a.Rows[k] == a.Cols[k] {
+			diag[a.Rows[k]] = v
+		} else {
+			off[a.Rows[k]] += v
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if diag[i] < off[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobeniusNorm returns sqrt(Σ a_ij²).
+func FrobeniusNorm(a *COO) float64 {
+	s := 0.0
+	for _, v := range a.Vals {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

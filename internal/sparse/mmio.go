@@ -1,0 +1,155 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// MatrixMarket I/O for the "coordinate" layout, the interchange format
+// of the SuiteSparse collection the paper trains on. Supported
+// qualifiers: real/integer/pattern values, general/symmetric/
+// skew-symmetric storage. Pattern entries read as value 1; symmetric
+// files are expanded to full storage on read.
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream into
+// canonical COO.
+func ReadMatrixMarket(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket banner %q", sc.Text())
+	}
+	layout, valType, symmetry := header[2], header[3], header[4]
+	if layout != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket layout %q (only coordinate)", layout)
+	}
+	switch valType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket value type %q", valType)
+	}
+	switch symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket dimensions %dx%d", rows, cols)
+	}
+
+	entries := make([]Entry, 0, nnz)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index in %q: %w", line, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad col index in %q: %w", line, err)
+		}
+		v := 1.0
+		if valType != "pattern" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value in %q: %w", line, err)
+			}
+		}
+		// MatrixMarket is 1-based.
+		e := Entry{Row: i - 1, Col: j - 1, Val: v}
+		entries = append(entries, e)
+		if symmetry != "general" && e.Row != e.Col {
+			mv := v
+			if symmetry == "skew-symmetric" {
+				mv = -v
+			}
+			entries = append(entries, Entry{Row: e.Col, Col: e.Row, Val: mv})
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sparse: reading MatrixMarket: %w", err)
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("sparse: MatrixMarket stream truncated: got %d of %d entries", read, nnz)
+	}
+	return NewCOO(rows, cols, entries)
+}
+
+// ReadMatrixMarketFile reads a .mtx file from disk.
+func ReadMatrixMarketFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: %w", err)
+	}
+	defer f.Close()
+	c, err := ReadMatrixMarket(f)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// WriteMatrixMarket writes the matrix as a general real coordinate
+// MatrixMarket stream.
+func WriteMatrixMarket(w io.Writer, m Matrix) error {
+	c := m.ToCOO()
+	bw := bufio.NewWriter(w)
+	rows, cols := c.Dims()
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		rows, cols, c.NNZ()); err != nil {
+		return fmt.Errorf("sparse: writing MatrixMarket header: %w", err)
+	}
+	for k, v := range c.Vals {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", c.Rows[k]+1, c.Cols[k]+1, v); err != nil {
+			return fmt.Errorf("sparse: writing MatrixMarket entry: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMatrixMarketFile writes the matrix to a .mtx file.
+func WriteMatrixMarketFile(path string, m Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sparse: %w", err)
+	}
+	if err := WriteMatrixMarket(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,137 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.5
+2 2 -1
+3 1 4
+3 3 1e2
+`
+	c, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, cl := c.Dims(); r != 3 || cl != 3 || c.NNZ() != 4 {
+		t.Fatalf("dims %dx%d nnz %d", r, cl, c.NNZ())
+	}
+	d := c.Dense()
+	if d[0] != 2.5 || d[4] != -1 || d[6] != 4 || d[8] != 100 {
+		t.Fatalf("values wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1
+2 1 5
+3 3 2
+`
+	c, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 4 { // (1,0) mirrored to (0,1); diagonals not mirrored
+		t.Fatalf("nnz = %d, want 4", c.NNZ())
+	}
+	d := c.Dense()
+	if d[1] != 5 || d[3] != 5 {
+		t.Fatalf("symmetry expansion wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3
+`
+	c, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Dense()
+	if d[2] != 3 || d[1] != -3 {
+		t.Fatalf("skew expansion wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	c, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vals[0] != 1 || c.Vals[1] != 1 {
+		t.Fatalf("pattern values: %v", c.Vals)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2 4\n",
+		"%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n2 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n0 2 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n", // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",   // missing value
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n", // out of range
+	}
+	for i, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d: accepted bad input", i)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTripFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := randomCOO(rng, 17, 23, 80)
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := WriteMatrixMarketFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(c) {
+		t.Fatal("file round trip lost data")
+	}
+}
+
+func TestWriteMatrixMarketStream(t *testing.T) {
+	c := MustCOO(2, 2, []Entry{{0, 0, 1.5}, {1, 1, -2}})
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "%%MatrixMarket matrix coordinate real general\n2 2 2\n") {
+		t.Fatalf("bad header: %q", out)
+	}
+	if !strings.Contains(out, "1 1 1.5") || !strings.Contains(out, "2 2 -2") {
+		t.Fatalf("missing entries: %q", out)
+	}
+}
+
+func TestReadMatrixMarketFileMissing(t *testing.T) {
+	if _, err := ReadMatrixMarketFile("/nonexistent/m.mtx"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,416 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperMatrix is the 4×4 example from Figure 1 of the paper.
+func paperMatrix(t *testing.T) *COO {
+	t.Helper()
+	c, err := NewCOO(4, 4, []Entry{
+		{0, 0, 1}, {0, 1, 5},
+		{1, 1, 2}, {1, 2, 6},
+		{2, 0, 8}, {2, 2, 3}, {2, 3, 7},
+		{3, 1, 9}, {3, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPaperFigure1COO(t *testing.T) {
+	c := paperMatrix(t)
+	wantRows := []int32{0, 0, 1, 1, 2, 2, 2, 3, 3}
+	wantCols := []int32{0, 1, 1, 2, 0, 2, 3, 1, 3}
+	wantVals := []float64{1, 5, 2, 6, 8, 3, 7, 9, 4}
+	for k := range wantVals {
+		if c.Rows[k] != wantRows[k] || c.Cols[k] != wantCols[k] || c.Vals[k] != wantVals[k] {
+			t.Fatalf("entry %d = (%d,%d,%v), want (%d,%d,%v)",
+				k, c.Rows[k], c.Cols[k], c.Vals[k], wantRows[k], wantCols[k], wantVals[k])
+		}
+	}
+}
+
+func TestPaperFigure1CSR(t *testing.T) {
+	m := NewCSR(paperMatrix(t))
+	wantPtr := []int32{0, 2, 4, 7, 9}
+	for i, w := range wantPtr {
+		if m.RowPtr[i] != w {
+			t.Fatalf("RowPtr = %v, want %v", m.RowPtr, wantPtr)
+		}
+	}
+}
+
+func TestPaperFigure1DIA(t *testing.T) {
+	m := NewDIA(paperMatrix(t))
+	wantOffsets := []int32{-2, 0, 1}
+	if len(m.Offsets) != 3 {
+		t.Fatalf("offsets = %v, want %v", m.Offsets, wantOffsets)
+	}
+	for i, w := range wantOffsets {
+		if m.Offsets[i] != w {
+			t.Fatalf("offsets = %v, want %v", m.Offsets, wantOffsets)
+		}
+	}
+	// Lane for offset -2: rows 2,3 hold 8,9 (paper shows [* * 8 9]).
+	if m.Data[0*4+2] != 8 || m.Data[0*4+3] != 9 {
+		t.Fatalf("lane -2 = %v", m.Data[0:4])
+	}
+	// Principal diagonal: 1 2 3 4.
+	if m.Data[1*4+0] != 1 || m.Data[1*4+3] != 4 {
+		t.Fatalf("lane 0 = %v", m.Data[4:8])
+	}
+	// Offset +1: 5 6 7 with padding at the end.
+	if m.Data[2*4+0] != 5 || m.Data[2*4+2] != 7 || m.Data[2*4+3] != 0 {
+		t.Fatalf("lane +1 = %v", m.Data[8:12])
+	}
+}
+
+func TestFigure1SpMVAllFormats(t *testing.T) {
+	c := paperMatrix(t)
+	x := []float64{1, 2, 3, 4}
+	want := []float64{11, 22, 45, 34} // dense A·x
+	for _, f := range AllFormats() {
+		m := MustConvert(c, f)
+		y := make([]float64, 4)
+		m.MulVec(y, x)
+		for i := range want {
+			if math.Abs(y[i]-want[i]) > 1e-12 {
+				t.Fatalf("%v: y = %v, want %v", f, y, want)
+			}
+		}
+	}
+}
+
+func TestNewCOOValidation(t *testing.T) {
+	if _, err := NewCOO(0, 4, nil); err == nil {
+		t.Fatal("accepted zero rows")
+	}
+	if _, err := NewCOO(4, 4, []Entry{{4, 0, 1}}); err == nil {
+		t.Fatal("accepted out-of-range row")
+	}
+	if _, err := NewCOO(4, 4, []Entry{{0, -1, 1}}); err == nil {
+		t.Fatal("accepted negative col")
+	}
+}
+
+func TestNewCOODeduplicatesAndDropsZeros(t *testing.T) {
+	c := MustCOO(2, 2, []Entry{
+		{0, 0, 1}, {0, 0, 2}, // duplicates summed -> 3
+		{1, 1, 5}, {1, 1, -5}, // cancel -> dropped
+		{0, 1, 0}, // explicit zero dropped
+	})
+	if c.NNZ() != 1 || c.Vals[0] != 3 {
+		t.Fatalf("canonicalisation failed: %+v", c)
+	}
+}
+
+func TestCOOTransposeInvolution(t *testing.T) {
+	c := paperMatrix(t)
+	if !c.Transpose().Transpose().Equal(c) {
+		t.Fatal("transpose twice must be identity")
+	}
+}
+
+func randomCOO(rng *rand.Rand, rows, cols, nnz int) *COO {
+	es := make([]Entry, 0, nnz)
+	for k := 0; k < nnz; k++ {
+		es = append(es, Entry{
+			Row: rng.Intn(rows), Col: rng.Intn(cols),
+			Val: rng.NormFloat64() + 0.1, // avoid exact zeros
+		})
+	}
+	return MustCOO(rows, cols, es)
+}
+
+// Property: converting COO -> F -> COO is the identity for every format.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(40)
+		nnz := rng.Intn(rows*cols/2 + 1)
+		c := randomCOO(rng, rows, cols, nnz)
+		for _, format := range AllFormats() {
+			m := MustConvert(c, format)
+			back := m.ToCOO()
+			if !back.Equal(c) {
+				t.Logf("round trip through %v failed (seed %d, %dx%d nnz %d)",
+					format, seed, rows, cols, c.NNZ())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every format's MulVec matches the dense reference product.
+func TestSpMVAgreesWithDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(60), 1+rng.Intn(60)
+		nnz := rng.Intn(rows*cols/2 + 1)
+		c := randomCOO(rng, rows, cols, nnz)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		dense := c.Dense()
+		want := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			s := 0.0
+			for j := 0; j < cols; j++ {
+				s += dense[i*cols+j] * x[j]
+			}
+			want[i] = s
+		}
+		y := make([]float64, rows)
+		for _, format := range AllFormats() {
+			m := MustConvert(c, format)
+			m.MulVec(y, x)
+			for i := range want {
+				if math.Abs(y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Logf("%v SpMV mismatch at row %d (seed %d)", format, i, seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecDimensionMismatchPanics(t *testing.T) {
+	c := paperMatrix(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	c.MulVec(make([]float64, 3), make([]float64, 4))
+}
+
+func TestCSR5TileStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomCOO(rng, 50, 50, 400)
+	m := NewCSR5(c, 4, 8)
+	if m.NumTiles != c.NNZ()/(4*8) {
+		t.Fatalf("NumTiles = %d, want %d", m.NumTiles, c.NNZ()/(4*8))
+	}
+	if len(m.TailVals) != c.NNZ()-m.NumTiles*32 {
+		t.Fatalf("tail size = %d", len(m.TailVals))
+	}
+	// Every lane's first element must be flagged consistently with its
+	// LaneRow.
+	for t2 := 0; t2 < m.NumTiles; t2++ {
+		for l := 0; l < 4; l++ {
+			lane := t2*4 + l
+			if m.BitFlag[lane]&1 != 0 {
+				seg := m.SegPtr[lane]
+				if m.SegRows[seg] != m.LaneRow[lane] {
+					t.Fatalf("lane %d: first seg row %d != lane row %d",
+						lane, m.SegRows[seg], m.LaneRow[lane])
+				}
+			}
+		}
+	}
+}
+
+func TestCSR5SigmaClamped(t *testing.T) {
+	c := paperMatrix(t)
+	m := NewCSR5(c, 2, 100) // sigma must clamp to 64
+	if m.Sigma != 64 {
+		t.Fatalf("sigma = %d, want 64", m.Sigma)
+	}
+}
+
+func TestELLWidthAndFill(t *testing.T) {
+	c := paperMatrix(t)
+	m := NewELL(c)
+	if m.Width != 3 {
+		t.Fatalf("width = %d, want 3", m.Width)
+	}
+	if got, want := m.FillRatio(), 9.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fill = %v, want %v", got, want)
+	}
+}
+
+func TestHYBSplit(t *testing.T) {
+	// One dense row on top of a uniform matrix: HYB with k=1 should put
+	// exactly one entry per row into ELL and the rest into the tail.
+	es := []Entry{}
+	for j := 0; j < 8; j++ {
+		es = append(es, Entry{Row: 0, Col: j, Val: 1})
+	}
+	for i := 1; i < 8; i++ {
+		es = append(es, Entry{Row: i, Col: i, Val: 2})
+	}
+	c := MustCOO(8, 8, es)
+	h := NewHYB(c, 1)
+	if h.ELL.NNZ() != 8 {
+		t.Fatalf("ELL part nnz = %d, want 8", h.ELL.NNZ())
+	}
+	if h.Tail.NNZ() != 7 {
+		t.Fatalf("tail nnz = %d, want 7", h.Tail.NNZ())
+	}
+	if h.ELL.Width != 1 {
+		t.Fatalf("ELL width = %d, want 1", h.ELL.Width)
+	}
+}
+
+func TestHYBAutoK(t *testing.T) {
+	c := paperMatrix(t)
+	h := NewHYB(c, 0)
+	if h.K < 1 {
+		t.Fatalf("auto K = %d", h.K)
+	}
+	if h.NNZ() != c.NNZ() {
+		t.Fatalf("HYB lost entries: %d vs %d", h.NNZ(), c.NNZ())
+	}
+}
+
+func TestBSRBlocks(t *testing.T) {
+	// 8x8 matrix with one dense 4x4 block at (0,0) and one entry at (7,7).
+	es := []Entry{}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			es = append(es, Entry{Row: i, Col: j, Val: float64(i*4 + j + 1)})
+		}
+	}
+	es = append(es, Entry{Row: 7, Col: 7, Val: 9})
+	c := MustCOO(8, 8, es)
+	m := NewBSR(c, 4)
+	if m.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", m.NumBlocks())
+	}
+	if got, want := m.FillRatio(), 17.0/32.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fill = %v, want %v", got, want)
+	}
+}
+
+func TestBSRNonMultipleDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := randomCOO(rng, 10, 7, 30)
+	m := NewBSR(c, 4)
+	if m.BlockRows != 3 || m.BlockCols != 2 {
+		t.Fatalf("block grid %dx%d, want 3x2", m.BlockRows, m.BlockCols)
+	}
+	if !m.ToCOO().Equal(c) {
+		t.Fatal("BSR round trip failed with non-multiple dims")
+	}
+}
+
+func TestDIAFillRatio(t *testing.T) {
+	// Pure tridiagonal: three lanes, fill close to 1.
+	es := []Entry{}
+	n := 64
+	for i := 0; i < n; i++ {
+		es = append(es, Entry{Row: i, Col: i, Val: 2})
+		if i > 0 {
+			es = append(es, Entry{Row: i, Col: i - 1, Val: -1})
+		}
+		if i < n-1 {
+			es = append(es, Entry{Row: i, Col: i + 1, Val: -1})
+		}
+	}
+	m := NewDIA(MustCOO(n, n, es))
+	if m.NumDiags() != 3 {
+		t.Fatalf("diags = %d", m.NumDiags())
+	}
+	if m.FillRatio() < 0.98 {
+		t.Fatalf("tridiagonal fill = %v", m.FillRatio())
+	}
+}
+
+func TestFormatStringAndParse(t *testing.T) {
+	for _, f := range AllFormats() {
+		got, err := ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFormat(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if _, err := ParseFormat("NOPE"); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+	if Format(99).String() == "" {
+		t.Fatal("unknown format String empty")
+	}
+}
+
+func TestFormatSets(t *testing.T) {
+	if len(CPUFormats()) != 4 {
+		t.Fatalf("CPU formats: %v", CPUFormats())
+	}
+	if len(GPUFormats()) != 6 {
+		t.Fatalf("GPU formats: %v", GPUFormats())
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	c := paperMatrix(t)
+	if got, want := c.Bytes(), int64(9*16); got != want {
+		t.Fatalf("COO bytes = %d, want %d", got, want)
+	}
+	csr := NewCSR(c)
+	if got, want := csr.Bytes(), int64(5*4+9*12); got != want {
+		t.Fatalf("CSR bytes = %d, want %d", got, want)
+	}
+	ell := NewELL(c)
+	if got, want := ell.Bytes(), int64(4*3*12); got != want {
+		t.Fatalf("ELL bytes = %d, want %d", got, want)
+	}
+}
+
+func TestConversionOpsPositive(t *testing.T) {
+	c := paperMatrix(t)
+	for _, f := range AllFormats() {
+		if ConversionOps(c, f) <= 0 {
+			t.Fatalf("ConversionOps(%v) not positive", f)
+		}
+	}
+}
+
+func TestCSCMulVecSkipsZeroX(t *testing.T) {
+	c := paperMatrix(t)
+	m := NewCSC(c)
+	x := []float64{0, 1, 0, 1}
+	y := make([]float64, 4)
+	m.MulVec(y, x)
+	want := []float64{5, 2, 7, 13}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestDenseAndEntries(t *testing.T) {
+	c := paperMatrix(t)
+	d := c.Dense()
+	if d[0] != 1 || d[2*4+3] != 7 {
+		t.Fatalf("Dense wrong: %v", d)
+	}
+	es := c.Entries()
+	if len(es) != 9 || es[0] != (Entry{0, 0, 1}) {
+		t.Fatalf("Entries wrong: %v", es)
+	}
+}
+
+func TestCSRRowAccess(t *testing.T) {
+	m := NewCSR(paperMatrix(t))
+	cols, vals := m.Row(2)
+	if len(cols) != 3 || cols[0] != 0 || vals[2] != 7 {
+		t.Fatalf("Row(2) = %v %v", cols, vals)
+	}
+	if m.RowLen(0) != 2 {
+		t.Fatalf("RowLen(0) = %d", m.RowLen(0))
+	}
+}

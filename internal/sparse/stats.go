@@ -1,0 +1,234 @@
+package sparse
+
+import "math"
+
+// Stats holds the structural statistics of a sparse matrix that drive
+// both the machine cost models and the SMAT-style hand-crafted feature
+// vector of the decision-tree baseline.
+type Stats struct {
+	Rows, Cols int
+	NNZ        int
+
+	Density float64 // nnz / (rows·cols)
+
+	// Row-length distribution.
+	MinRowNNZ int
+	MaxRowNNZ int
+	AvgRowNNZ float64
+	RowNNZSD  float64 // standard deviation of row lengths
+	RowNNZCV  float64 // coefficient of variation (SD/mean), GPU imbalance proxy
+	EmptyRows int
+	ELLFill   float64 // nnz / (rows·maxRowNNZ): ELL slab efficiency
+
+	// Diagonal structure.
+	NumDiags      int     // occupied diagonals
+	DIAFill       float64 // nnz / (numDiags·rows): DIA lane efficiency
+	DiagDominance float64 // fraction of nnz within |row-col| <= max(rows,cols)/50
+	MainDiagFill  float64 // fraction of principal diagonal occupied
+
+	// Block structure (4×4 tiles, the paper's BSR block size).
+	NumBlocks int
+	BSRFill   float64 // nnz / (numBlocks·16): BSR block efficiency
+
+	// HYB split with the auto width K = ceil(nnz/rows): how many
+	// nonzeros overflow into the COO tail.
+	HYBK       int
+	HYBTailNNZ int
+
+	// Locality proxies.
+	AvgColSpread float64 // mean per-row span (maxcol-mincol+1)/cols
+	Bandwidth    int     // max |row-col| over nonzeros
+
+	// Measured gather locality: the miss fraction of the x[col] access
+	// stream (canonical row-major nonzero order) through a small
+	// set-associative LRU cache, at two capacities. Unlike the scalar
+	// proxies above, these are functions of the full spatial pattern —
+	// the information the paper's image/histogram representations
+	// preserve and hand-crafted feature vectors drop. They drive the
+	// gather-traffic term of the machine cost models.
+	GatherMiss8K  float64 // 8 KiB of 64-byte lines, 4-way
+	GatherMiss32K float64 // 32 KiB of 64-byte lines, 4-way
+}
+
+// gatherMissFrac replays the x[col] gather stream of row-major SpMV
+// through a set-associative LRU with the given number of sets (64-byte
+// lines, 4-way) and returns the miss fraction.
+func gatherMissFrac(cols []int32, sets int) float64 {
+	if len(cols) == 0 {
+		return 0
+	}
+	const ways = 4
+	tags := make([]int32, sets*ways)
+	for i := range tags {
+		tags[i] = -1
+	}
+	stamp := make([]uint32, sets*ways)
+	clock := uint32(0)
+	misses := 0
+	mask := int32(sets - 1)
+	for _, c := range cols {
+		line := c >> 3 // 8 doubles per 64-byte line
+		set := int(line&mask) * ways
+		clock++
+		hit := false
+		for w := 0; w < ways; w++ {
+			if tags[set+w] == line {
+				stamp[set+w] = clock
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		misses++
+		victim := set
+		for w := 1; w < ways; w++ {
+			if stamp[set+w] < stamp[victim] {
+				victim = set + w
+			}
+		}
+		tags[victim] = line
+		stamp[victim] = clock
+	}
+	return float64(misses) / float64(len(cols))
+}
+
+// ComputeStats derives Stats from a canonical COO matrix in one or two
+// passes over the nonzeros, including the gather-cache simulation.
+func ComputeStats(c *COO) Stats {
+	return computeStats(c, true)
+}
+
+// ComputeStatsLite derives the scalar statistics only, skipping the
+// gather-cache simulation — the extraction cost profile of the
+// published SMAT feature set, used by the baseline's feature extractor
+// and the §7.6 overhead accounting.
+func ComputeStatsLite(c *COO) Stats {
+	return computeStats(c, false)
+}
+
+func computeStats(c *COO, gatherSim bool) Stats {
+	rows, cols := c.Dims()
+	s := Stats{Rows: rows, Cols: cols, NNZ: c.NNZ()}
+	if s.NNZ == 0 {
+		s.EmptyRows = rows
+		return s
+	}
+	s.Density = float64(s.NNZ) / (float64(rows) * float64(cols))
+
+	counts := c.RowCounts()
+	s.MinRowNNZ = math.MaxInt
+	sum, sumSq := 0.0, 0.0
+	for _, n := range counts {
+		if n == 0 {
+			s.EmptyRows++
+		}
+		if n < s.MinRowNNZ {
+			s.MinRowNNZ = n
+		}
+		if n > s.MaxRowNNZ {
+			s.MaxRowNNZ = n
+		}
+		f := float64(n)
+		sum += f
+		sumSq += f * f
+	}
+	s.AvgRowNNZ = sum / float64(rows)
+	variance := sumSq/float64(rows) - s.AvgRowNNZ*s.AvgRowNNZ
+	if variance < 0 {
+		variance = 0
+	}
+	s.RowNNZSD = math.Sqrt(variance)
+	if s.AvgRowNNZ > 0 {
+		s.RowNNZCV = s.RowNNZSD / s.AvgRowNNZ
+	}
+	if s.MaxRowNNZ > 0 {
+		s.ELLFill = float64(s.NNZ) / (float64(rows) * float64(s.MaxRowNNZ))
+	}
+	s.HYBK = (s.NNZ + rows - 1) / rows
+	for _, n := range counts {
+		if n > s.HYBK {
+			s.HYBTailNNZ += n - s.HYBK
+		}
+	}
+
+	// Diagonal structure.
+	maxDim := rows
+	if cols > maxDim {
+		maxDim = cols
+	}
+	// The near-diagonal window is maxDim/50 — one bin of the paper's
+	// 50-bin distance histogram, so the histogram representation carries
+	// this locality signal explicitly.
+	nearBand := maxDim / 50
+	if nearBand < 1 {
+		nearBand = 1
+	}
+	diags := make(map[int32]struct{})
+	near := 0
+	mainDiag := 0
+	spreadMin := make([]int32, rows)
+	spreadMax := make([]int32, rows)
+	for i := range spreadMin {
+		spreadMin[i] = math.MaxInt32
+		spreadMax[i] = -1
+	}
+	blocks := make(map[blockKey]struct{})
+	for k := range c.Vals {
+		r, cl := c.Rows[k], c.Cols[k]
+		off := cl - r
+		diags[off] = struct{}{}
+		d := int(off)
+		if d < 0 {
+			d = -d
+		}
+		if d > s.Bandwidth {
+			s.Bandwidth = d
+		}
+		if d <= nearBand {
+			near++
+		}
+		if d == 0 {
+			mainDiag++
+		}
+		if cl < spreadMin[r] {
+			spreadMin[r] = cl
+		}
+		if cl > spreadMax[r] {
+			spreadMax[r] = cl
+		}
+		blocks[blockKey{r / DefaultBlockSize, cl / DefaultBlockSize}] = struct{}{}
+	}
+	s.NumDiags = len(diags)
+	s.DIAFill = float64(s.NNZ) / (float64(s.NumDiags) * float64(rows))
+	s.DiagDominance = float64(near) / float64(s.NNZ)
+	mainLen := rows
+	if cols < mainLen {
+		mainLen = cols
+	}
+	s.MainDiagFill = float64(mainDiag) / float64(mainLen)
+
+	s.NumBlocks = len(blocks)
+	s.BSRFill = float64(s.NNZ) / (float64(s.NumBlocks) * float64(DefaultBlockSize*DefaultBlockSize))
+
+	spreadSum := 0.0
+	occupied := 0
+	for i := 0; i < rows; i++ {
+		if spreadMax[i] < 0 {
+			continue
+		}
+		occupied++
+		spreadSum += float64(spreadMax[i]-spreadMin[i]+1) / float64(cols)
+	}
+	if occupied > 0 {
+		s.AvgColSpread = spreadSum / float64(occupied)
+	}
+
+	if gatherSim {
+		// 8 KiB = 32 sets × 4 ways × 64 B; 32 KiB = 128 sets.
+		s.GatherMiss8K = gatherMissFrac(c.Cols, 32)
+		s.GatherMiss32K = gatherMissFrac(c.Cols, 128)
+	}
+	return s
+}

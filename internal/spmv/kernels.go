@@ -1,0 +1,294 @@
+package spmv
+
+import (
+	"repro/internal/sparse"
+)
+
+// csrKernel parallelises the Figure 1 CSR loop by row blocks; each
+// worker owns a contiguous slice of y, so no synchronisation is needed
+// beyond the final join.
+type csrKernel struct{}
+
+func (csrKernel) Format() sparse.Format { return sparse.FormatCSR }
+
+func (csrKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.CSR](m, sparse.FormatCSR)
+	checkDims(m, y, x)
+	rows, _ := a.Dims()
+	parallelRows(rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for j := a.RowPtr[i]; j < a.RowPtr[i+1]; j++ {
+				s += a.Vals[j] * x[a.ColIdx[j]]
+			}
+			y[i] = s
+		}
+	})
+}
+
+// cooKernel splits the nonzero stream across workers; row collisions
+// between workers are resolved with private partial vectors and a
+// parallel reduction (the software analogue of COO SpMV's atomic adds).
+type cooKernel struct{}
+
+func (cooKernel) Format() sparse.Format { return sparse.FormatCOO }
+
+func (cooKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.COO](m, sparse.FormatCOO)
+	checkDims(m, y, x)
+	scatterReduce(y, a.NNZ(), workers, func(p []float64, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			p[a.Rows[k]] += a.Vals[k] * x[a.Cols[k]]
+		}
+	})
+}
+
+// cscKernel splits columns across workers; each worker scatters its
+// columns' contributions into a private vector.
+type cscKernel struct{}
+
+func (cscKernel) Format() sparse.Format { return sparse.FormatCSC }
+
+func (cscKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.CSC](m, sparse.FormatCSC)
+	checkDims(m, y, x)
+	_, cols := a.Dims()
+	scatterReduce(y, cols, workers, func(p []float64, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			xj := x[j]
+			if xj == 0 {
+				continue
+			}
+			for q := a.ColPtr[j]; q < a.ColPtr[j+1]; q++ {
+				p[a.RowIdx[q]] += a.Vals[q] * xj
+			}
+		}
+	})
+}
+
+// diaKernel parallelises over row blocks; within a block every diagonal
+// contributes a contiguous streaming pass, preserving DIA's unit-stride
+// access pattern.
+type diaKernel struct{}
+
+func (diaKernel) Format() sparse.Format { return sparse.FormatDIA }
+
+func (diaKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.DIA](m, sparse.FormatDIA)
+	checkDims(m, y, x)
+	rows, cols := a.Dims()
+	parallelRows(rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = 0
+		}
+		for d, off := range a.Offsets {
+			k := int(off)
+			istart := lo
+			if k < 0 && -k > istart {
+				istart = -k
+			}
+			iend := hi
+			if limit := cols - k; limit < iend {
+				iend = limit
+			}
+			lane := a.Data[d*a.Stride:]
+			for i := istart; i < iend; i++ {
+				y[i] += lane[i] * x[i+k]
+			}
+		}
+	})
+}
+
+// ellKernel parallelises over row blocks of the padded slab.
+type ellKernel struct{}
+
+func (ellKernel) Format() sparse.Format { return sparse.FormatELL }
+
+func (ellKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.ELL](m, sparse.FormatELL)
+	checkDims(m, y, x)
+	rows, _ := a.Dims()
+	parallelRows(rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			base := i * a.Width
+			for w := 0; w < a.Width; w++ {
+				c := a.ColIdx[base+w]
+				if c < 0 {
+					break
+				}
+				s += a.Vals[base+w] * x[c]
+			}
+			y[i] = s
+		}
+	})
+}
+
+// hybKernel runs the regular ELL slab row-parallel, then folds in the
+// COO tail with a scatter-reduce.
+type hybKernel struct{}
+
+func (hybKernel) Format() sparse.Format { return sparse.FormatHYB }
+
+func (hybKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.HYB](m, sparse.FormatHYB)
+	checkDims(m, y, x)
+	rows, _ := a.Dims()
+	ell := a.ELL
+	parallelRows(rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			base := i * ell.Width
+			for w := 0; w < ell.Width; w++ {
+				c := ell.ColIdx[base+w]
+				if c < 0 {
+					break
+				}
+				s += ell.Vals[base+w] * x[c]
+			}
+			y[i] = s
+		}
+	})
+	tail := a.Tail
+	if tail.NNZ() == 0 {
+		return
+	}
+	// Tail is typically small; accumulate serially to avoid a second
+	// round of partial vectors (it accumulates ON TOP of y, so the
+	// scatterReduce helper, which zeroes, cannot be reused).
+	for k, v := range tail.Vals {
+		y[tail.Rows[k]] += v * x[tail.Cols[k]]
+	}
+}
+
+// bsrKernel parallelises over block rows, each worker performing dense
+// B×B block products into its contiguous slice of y.
+type bsrKernel struct{}
+
+func (bsrKernel) Format() sparse.Format { return sparse.FormatBSR }
+
+func (bsrKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.BSR](m, sparse.FormatBSR)
+	checkDims(m, y, x)
+	rows, cols := a.Dims()
+	b := a.B
+	parallelRows(a.BlockRows, workers, func(blo, bhi int) {
+		for br := blo; br < bhi; br++ {
+			rowBase := br * b
+			rmax := b
+			if rowBase+rmax > rows {
+				rmax = rows - rowBase
+			}
+			for lr := 0; lr < rmax; lr++ {
+				y[rowBase+lr] = 0
+			}
+			for p := a.RowPtr[br]; p < a.RowPtr[br+1]; p++ {
+				colBase := int(a.ColIdx[p]) * b
+				cmax := b
+				if colBase+cmax > cols {
+					cmax = cols - colBase
+				}
+				blk := a.Blocks[int(p)*b*b:]
+				for lr := 0; lr < rmax; lr++ {
+					s := 0.0
+					row := blk[lr*b : lr*b+cmax]
+					xw := x[colBase : colBase+cmax]
+					for lc, v := range row {
+						s += v * xw[lc]
+					}
+					y[rowBase+lr] += s
+				}
+			}
+		}
+	})
+}
+
+// csr5Kernel parallelises over tiles — the whole point of CSR5 is that
+// tiles carry equal work regardless of row structure, so a tile
+// partition is load-balanced by construction. Lane flushes can target
+// rows shared with neighbouring tiles, so workers accumulate into
+// private vectors merged by reduction.
+type csr5Kernel struct{}
+
+func (csr5Kernel) Format() sparse.Format { return sparse.FormatCSR5 }
+
+func (csr5Kernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.CSR5](m, sparse.FormatCSR5)
+	checkDims(m, y, x)
+	omega, sigma := a.Omega, a.Sigma
+	tileElems := omega * sigma
+	units := a.NumTiles
+	if units == 0 {
+		units = 1
+	}
+	scatterReduce(y, units, workers, func(p []float64, tlo, thi int) {
+		if a.NumTiles == 0 {
+			thi = 0
+		}
+		for t := tlo; t < thi; t++ {
+			base := t * tileElems
+			for l := 0; l < omega; l++ {
+				laneIdx := t*omega + l
+				flags := a.BitFlag[laneIdx]
+				cur := a.LaneRow[laneIdx]
+				seg := a.SegPtr[laneIdx]
+				sum := 0.0
+				for i := 0; i < sigma; i++ {
+					if flags&(1<<uint(i)) != 0 {
+						if i > 0 {
+							p[cur] += sum
+							sum = 0
+						}
+						cur = a.SegRows[seg]
+						seg++
+					}
+					q := base + i*omega + l
+					sum += a.ValsT[q] * x[a.ColIdxT[q]]
+				}
+				p[cur] += sum
+			}
+		}
+		// The first worker also handles the remainder tail.
+		if tlo == 0 {
+			for k, v := range a.TailVals {
+				p[a.TailRows[k]] += v * x[a.TailCols[k]]
+			}
+		}
+	})
+}
+
+// sellKernel parallelises over chunks; each chunk's lanes write disjoint
+// permuted rows, and chunks partition the rows, so no reduction is
+// needed.
+type sellKernel struct{}
+
+func (sellKernel) Format() sparse.Format { return sparse.FormatSELL }
+
+func (sellKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
+	a := mustFormat[*sparse.SELL](m, sparse.FormatSELL)
+	checkDims(m, y, x)
+	rows, _ := a.Dims()
+	c := a.C
+	parallelRows(a.NumChunks(), workers, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			base := int(a.ChunkPtr[ch])
+			width := int(a.ChunkLen[ch])
+			for lane := 0; lane < c; lane++ {
+				slot := ch*c + lane
+				if slot >= rows {
+					break
+				}
+				sum := 0.0
+				for w := 0; w < width; w++ {
+					p := base + w*c + lane
+					col := a.ColIdx[p]
+					if col < 0 {
+						break
+					}
+					sum += a.Vals[p] * x[col]
+				}
+				y[a.Perm[slot]] = sum
+			}
+		}
+	})
+}

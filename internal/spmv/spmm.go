@@ -1,0 +1,161 @@
+package spmv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// SpMM and transpose-SpMV round out the kernel surface of a production
+// SpMV library: iterative solvers with multiple right-hand sides use
+// Y = A·X on blocks of vectors, and normal-equation/Krylov methods need
+// y = Aᵀ·x without materialising the transpose.
+
+// MulMat computes Y = A·X for k right-hand sides stored row-major in x
+// (len rows·k for y, cols·k for x): y[i*k+j] = Σ A[i][c]·x[c*k+j].
+// Processing all k vectors inside the row loop amortises the matrix
+// traffic over the block — the reason SpMM beats k separate SpMVs.
+func MulMat(y []float64, m sparse.Matrix, x []float64, k, workers int) {
+	rows, cols := m.Dims()
+	if k <= 0 || len(y) != rows*k || len(x) != cols*k {
+		panic(fmt.Sprintf("spmv: MulMat dimension mismatch: matrix %dx%d, k=%d, len(y)=%d len(x)=%d",
+			rows, cols, k, len(y), len(x)))
+	}
+	switch a := m.(type) {
+	case *sparse.CSR:
+		parallelRows(rows, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				yi := y[i*k : (i+1)*k]
+				for j := range yi {
+					yi[j] = 0
+				}
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					v := a.Vals[p]
+					xc := x[int(a.ColIdx[p])*k : int(a.ColIdx[p])*k+k]
+					for j, xv := range xc {
+						yi[j] += v * xv
+					}
+				}
+			}
+		})
+	case *sparse.ELL:
+		parallelRows(rows, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				yi := y[i*k : (i+1)*k]
+				for j := range yi {
+					yi[j] = 0
+				}
+				base := i * a.Width
+				for w := 0; w < a.Width; w++ {
+					c := a.ColIdx[base+w]
+					if c < 0 {
+						break
+					}
+					v := a.Vals[base+w]
+					xc := x[int(c)*k : int(c)*k+k]
+					for j, xv := range xc {
+						yi[j] += v * xv
+					}
+				}
+			}
+		})
+	default:
+		// Generic path via COO, scatter-reduced across workers.
+		coo := m.ToCOO()
+		scatterReduce(y, coo.NNZ(), workers, func(p []float64, lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				v := coo.Vals[idx]
+				r := int(coo.Rows[idx]) * k
+				c := int(coo.Cols[idx]) * k
+				for j := 0; j < k; j++ {
+					p[r+j] += v * x[c+j]
+				}
+			}
+		})
+	}
+}
+
+// MulTrans computes y = Aᵀ·x without materialising Aᵀ. Row-oriented
+// formats scatter into y, so workers accumulate private partials merged
+// by reduction.
+func MulTrans(y []float64, m sparse.Matrix, x []float64, workers int) {
+	rows, cols := m.Dims()
+	if len(y) != cols || len(x) != rows {
+		panic(fmt.Sprintf("spmv: MulTrans dimension mismatch: matrix %dx%d, len(y)=%d len(x)=%d",
+			rows, cols, len(y), len(x)))
+	}
+	switch a := m.(type) {
+	case *sparse.CSR:
+		// Aᵀ in CSR is a gather per column — process rows in parallel
+		// with private outputs.
+		scatterReduce(y, rows, workers, func(p []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				xi := x[i]
+				if xi == 0 {
+					continue
+				}
+				for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+					p[a.ColIdx[q]] += a.Vals[q] * xi
+				}
+			}
+		})
+	case *sparse.CSC:
+		// CSC is CSR of the transpose: a clean row-parallel gather.
+		parallelRows(cols, workers, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				s := 0.0
+				for q := a.ColPtr[j]; q < a.ColPtr[j+1]; q++ {
+					s += a.Vals[q] * x[a.RowIdx[q]]
+				}
+				y[j] = s
+			}
+		})
+	default:
+		coo := m.ToCOO()
+		scatterReduce(y, coo.NNZ(), workers, func(p []float64, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				p[coo.Cols[k]] += coo.Vals[k] * x[coo.Rows[k]]
+			}
+		})
+	}
+}
+
+// PowerIterate runs n steps of the power method y ← A·x / ‖A·x‖ and
+// returns the final Rayleigh-quotient estimate of the dominant
+// eigenvalue — a compact SpMV-bound workload used by the examples and
+// benchmarks (PageRank-style iteration, cf. the paper's §1 citation of
+// web-ranking workloads).
+func PowerIterate(m sparse.Matrix, n, workers int) float64 {
+	rows, cols := m.Dims()
+	if rows != cols {
+		panic("spmv: PowerIterate needs a square matrix")
+	}
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = 1.0 / float64(cols)
+	}
+	y := make([]float64, rows)
+	var lambda float64
+	for it := 0; it < n; it++ {
+		Mul(y, m, x, workers)
+		// Rayleigh quotient and normalisation.
+		num, den, norm := 0.0, 0.0, 0.0
+		for i := range y {
+			num += x[i] * y[i]
+			den += x[i] * x[i]
+			norm += y[i] * y[i]
+		}
+		if den > 0 {
+			lambda = num / den
+		}
+		if norm == 0 {
+			break
+		}
+		inv := 1.0 / math.Sqrt(norm)
+		for i := range y {
+			x[i] = y[i] * inv
+		}
+	}
+	return lambda
+}

@@ -1,0 +1,115 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// Property: MulMat with k right-hand sides equals k independent MulVec
+// calls, for representative formats and worker counts.
+func TestMulMatMatchesMulVecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(50), 1+rng.Intn(50)
+		k := 1 + rng.Intn(5)
+		c := randomCOO(rng, rows, cols, rng.Intn(rows*cols/2+1))
+		x := make([]float64, cols*k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for _, format := range []sparse.Format{sparse.FormatCSR, sparse.FormatELL, sparse.FormatDIA, sparse.FormatSELL} {
+			m := sparse.MustConvert(c, format)
+			y := make([]float64, rows*k)
+			MulMat(y, m, x, k, 3)
+			// Reference: column j via MulVec.
+			xj := make([]float64, cols)
+			yj := make([]float64, rows)
+			for j := 0; j < k; j++ {
+				for i := 0; i < cols; i++ {
+					xj[i] = x[i*k+j]
+				}
+				m.MulVec(yj, xj)
+				for i := 0; i < rows; i++ {
+					if math.Abs(y[i*k+j]-yj[i]) > 1e-9*(1+math.Abs(yj[i])) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatDimMismatchPanics(t *testing.T) {
+	c := randomCOO(rand.New(rand.NewSource(1)), 4, 4, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulMat(make([]float64, 4), sparse.NewCSR(c), make([]float64, 4), 2, 1)
+}
+
+// Property: MulTrans(A) equals Mul on the explicitly transposed matrix.
+func TestMulTransMatchesExplicitTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(60), 1+rng.Intn(60)
+		c := randomCOO(rng, rows, cols, rng.Intn(rows*cols/2+1))
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, cols)
+		sparse.NewCSR(c.Transpose()).MulVec(want, x)
+		for _, format := range []sparse.Format{sparse.FormatCSR, sparse.FormatCSC, sparse.FormatELL} {
+			m := sparse.MustConvert(c, format)
+			y := make([]float64, cols)
+			MulTrans(y, m, x, 4)
+			if !vecsClose(y, want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulTransDimMismatchPanics(t *testing.T) {
+	c := randomCOO(rand.New(rand.NewSource(2)), 5, 3, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulTrans(make([]float64, 5), sparse.NewCSR(c), make([]float64, 5), 1)
+}
+
+func TestPowerIterateDominantEigenvalue(t *testing.T) {
+	// Diagonal matrix: dominant eigenvalue is the largest diagonal.
+	es := []sparse.Entry{{Row: 0, Col: 0, Val: 3}, {Row: 1, Col: 1, Val: 7}, {Row: 2, Col: 2, Val: 2}}
+	m := sparse.NewCSR(sparse.MustCOO(3, 3, es))
+	lambda := PowerIterate(m, 60, 2)
+	if math.Abs(lambda-7) > 1e-6 {
+		t.Fatalf("lambda = %v, want 7", lambda)
+	}
+}
+
+func TestPowerIterateNonSquarePanics(t *testing.T) {
+	c := randomCOO(rand.New(rand.NewSource(3)), 4, 5, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PowerIterate(sparse.NewCSR(c), 3, 1)
+}

@@ -1,0 +1,165 @@
+package synthgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Spec describes one generated matrix; Build(spec) is deterministic, so
+// datasets can be stored as compact spec lists and regenerated on
+// demand.
+type Spec struct {
+	Family Family
+	N      int // primary dimension
+	Rows   int // used by non-square families (0 = N)
+	Cols   int // 0 = N
+	NNZ    int
+	Per    int     // per-row nonzeros (uniform / powerlaw)
+	Band   int     // banded half-width
+	NDiags int     // multidiag count
+	Blocks int     // blocked count
+	Fill   float64 // in-structure fill probability
+	Alpha  float64 // powerlaw exponent
+	Jitter int     // uniform row-length jitter
+	Seed   int64
+
+	// Derivation applied after generation (0 = none).
+	Derive     int // 1=crop, 2=permute, 3=sparsify
+	DeriveSeed int64
+}
+
+// Derivation codes for Spec.Derive.
+const (
+	DeriveNone = iota
+	DeriveCrop
+	DerivePermute
+	DeriveSparsify
+)
+
+// Build generates the matrix described by the spec.
+func Build(s Spec) *sparse.COO {
+	rows, cols := s.Rows, s.Cols
+	if rows == 0 {
+		rows = s.N
+	}
+	if cols == 0 {
+		cols = s.N
+	}
+	var c *sparse.COO
+	switch s.Family {
+	case FamilyBanded:
+		c = Banded(s.N, s.Band, s.Fill, s.Seed)
+	case FamilyMultiDiag:
+		c = MultiDiag(s.N, s.NDiags, s.Fill, s.Seed)
+	case FamilyUniform:
+		c = Uniform(s.N, s.Per, s.Jitter, s.Seed)
+	case FamilyRandom:
+		c = Random(rows, cols, s.NNZ, s.Seed)
+	case FamilyPowerLaw:
+		c = PowerLaw(s.N, s.Per, s.Alpha, s.Seed)
+	case FamilyBlocked:
+		c = Blocked(s.N, s.Blocks, sparse.DefaultBlockSize, s.Fill, s.Seed)
+	case FamilyHypersparse:
+		c = Hypersparse(rows, cols, s.NNZ, s.Seed)
+	case FamilyKronecker:
+		c = Kronecker(s.N, s.NNZ, 0.57, 0.19, 0.19, s.Seed)
+	case FamilyUniformOutliers:
+		c = UniformOutliers(s.N, s.Per, s.Blocks, s.NNZ, s.Seed)
+	default:
+		panic(fmt.Sprintf("synthgen: unknown family %v", s.Family))
+	}
+	switch s.Derive {
+	case DeriveCrop:
+		rng := rand.New(rand.NewSource(s.DeriveSeed))
+		r, cl := c.Dims()
+		h := r/2 + rng.Intn(r/2+1)
+		w := cl/2 + rng.Intn(cl/2+1)
+		c = Crop(c, rng.Intn(r-h+1), rng.Intn(cl-w+1), h, w)
+	case DerivePermute:
+		c = Permute(c, s.DeriveSeed)
+	case DeriveSparsify:
+		rng := rand.New(rand.NewSource(s.DeriveSeed))
+		c = Sparsify(c, 0.4+0.5*rng.Float64(), s.DeriveSeed+1)
+	}
+	return c
+}
+
+// SampleSpec draws one spec from the mixture. The family weights and
+// parameter ranges are tuned so that, labelled by the machine cost
+// models, the class distribution resembles the paper's Table 2 (CSR is
+// the dominant winner at roughly three quarters, with meaningful DIA,
+// ELL and COO minorities) while keeping the decision boundaries fuzzy:
+// every family's parameter range straddles the crossover where its
+// "natural" format stops winning. maxN bounds the matrix dimension.
+func SampleSpec(rng *rand.Rand, maxN int) Spec {
+	if maxN < 192 {
+		maxN = 192
+	}
+	// Log-uniform sizes: real corpora span orders of magnitude, and the
+	// large tail is where gather locality (and therefore spatial
+	// structure) decides format winners.
+	n := int(192 * math.Pow(float64(maxN)/192, rng.Float64()))
+	if n > maxN {
+		n = maxN
+	}
+	s := Spec{N: n, Seed: rng.Int63()}
+	w := rng.Float64()
+	switch {
+	case w < 0.17: // banded: DIA when narrow and dense, CSR beyond
+		s.Family = FamilyBanded
+		s.Band = 1 + rng.Intn(16)
+		s.Fill = 0.5 + 0.5*rng.Float64()
+	case w < 0.28: // multidiag: DIA for few dense diagonals
+		s.Family = FamilyMultiDiag
+		s.NDiags = 2 + rng.Intn(16)
+		s.Fill = 0.55 + 0.45*rng.Float64()
+	case w < 0.44: // uniform rows: ELL when jitter small
+		s.Family = FamilyUniform
+		s.Per = 2 + rng.Intn(24)
+		s.Jitter = rng.Intn(1 + s.Per/3)
+	case w < 0.58: // unstructured scatter: CSR home turf
+		s.Family = FamilyRandom
+		s.NNZ = n * (2 + rng.Intn(24))
+	case w < 0.68: // skewed rows: CSR vs HYB/CSR5 boundary
+		s.Family = FamilyPowerLaw
+		s.Per = 3 + rng.Intn(16)
+		s.Alpha = 0.6 + 1.2*rng.Float64()
+	case w < 0.76: // blocked: BSR on GPU, CSR/ELL on CPU
+		s.Family = FamilyBlocked
+		s.Blocks = n/2 + rng.Intn(2*n)
+		s.Fill = 0.5 + 0.5*rng.Float64()
+	case w < 0.83: // uniform + heavy outliers: HYB vs ELL vs CSR5 boundary
+		s.Family = FamilyUniformOutliers
+		s.Per = 8 + rng.Intn(24)
+		s.Blocks = 1 + rng.Intn(6)  // outlier row count
+		s.NNZ = n/4 + rng.Intn(n/2) // outlier row length
+	case w < 0.94: // hypersparse tall: COO territory
+		s.Family = FamilyHypersparse
+		s.Rows = n * (20 + rng.Intn(40))
+		s.Cols = n
+		s.NNZ = n/4 + rng.Intn(2*n)
+	default: // kronecker graphs: skewed + clustered
+		s.Family = FamilyKronecker
+		s.NNZ = n * (2 + rng.Intn(12))
+	}
+	// A third of the dataset are derived variants, mirroring the
+	// paper's expansion of SuiteSparse.
+	if rng.Float64() < 0.33 {
+		s.Derive = 1 + rng.Intn(3)
+		s.DeriveSeed = rng.Int63()
+	}
+	return s
+}
+
+// SampleSpecs draws count specs deterministically from the seed.
+func SampleSpecs(count int, seed int64, maxN int) []Spec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]Spec, count)
+	for i := range specs {
+		specs[i] = SampleSpec(rng, maxN)
+	}
+	return specs
+}

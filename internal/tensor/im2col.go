@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling
+// operation over a (channels, height, width) input.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	StrideH       int
+	StrideW       int
+	PadH          int // symmetric zero padding, rows
+	PadW          int // symmetric zero padding, cols
+}
+
+// OutH returns the output height of the convolution.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width of the convolution.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// Validate reports whether the geometry is internally consistent.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	case g.KH <= 0 || g.KW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive kernel %+v", g)
+	case g.StrideH <= 0 || g.StrideW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive stride %+v", g)
+	case g.PadH < 0 || g.PadW < 0:
+		return fmt.Errorf("tensor: conv geometry has negative padding %+v", g)
+	case g.InH+2*g.PadH < g.KH || g.InW+2*g.PadW < g.KW:
+		return fmt.Errorf("tensor: kernel larger than padded input %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers a (C,H,W) input into a (C*KH*KW, OutH*OutW) matrix in
+// which each column holds the receptive field of one output position.
+// Convolution then becomes a matrix product of the (F, C*KH*KW) filter
+// bank with this matrix.
+func Im2Col(in *Tensor, g ConvGeom) *Tensor {
+	if in.Rank() != 3 || in.shape[0] != g.InC || in.shape[1] != g.InH || in.shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input shape %v does not match geometry %+v", in.shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	cols := New(g.InC*g.KH*g.KW, oh*ow)
+	src := in.data
+	dst := cols.data
+	ncols := oh * ow
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				base := row * ncols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH + kh - g.PadH
+					outBase := base + oy*ow
+					if iy < 0 || iy >= g.InH {
+						for ox := 0; ox < ow; ox++ {
+							dst[outBase+ox] = 0
+						}
+						continue
+					}
+					rowOff := chanOff + iy*g.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW + kw - g.PadW
+						if ix < 0 || ix >= g.InW {
+							dst[outBase+ox] = 0
+						} else {
+							dst[outBase+ox] = src[rowOff+ix]
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (C*KH*KW, OutH*OutW)
+// matrix of column gradients back into a (C,H,W) input-gradient tensor,
+// accumulating where receptive fields overlap.
+func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	if cols.Rank() != 2 || cols.shape[0] != g.InC*g.KH*g.KW || cols.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im input shape %v does not match geometry %+v", cols.shape, g))
+	}
+	out := New(g.InC, g.InH, g.InW)
+	src := cols.data
+	dst := out.data
+	ncols := oh * ow
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				base := row * ncols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH + kh - g.PadH
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					rowOff := chanOff + iy*g.InW
+					outBase := base + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW + kw - g.PadW
+						if ix >= 0 && ix < g.InW {
+							dst[rowOff+ix] += src[outBase+ox]
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds below which
+// MatMul stays single-threaded; spawning goroutines for tiny products
+// costs more than it saves.
+const parallelThreshold = 1 << 15
+
+// MatMul returns the matrix product a×b. a must have shape (m,k) and b
+// shape (k,n); the result has shape (m,n). Rows of the output are
+// computed in parallel across a worker pool when the product is large
+// enough to amortise goroutine startup.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	matmulInto(c.data, a.data, b.data, m, k, n)
+	return c
+}
+
+// MatMulInto computes c = a×b, reusing c's storage. c must already have
+// shape (m,n).
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch c=%v a=%v b=%v", c.shape, a.shape, b.shape))
+	}
+	matmulInto(c.data, a.data, b.data, m, k, n)
+}
+
+func matmulInto(c, a, b []float64, m, k, n int) {
+	work := m * k * n
+	if work < parallelThreshold || m < 2 {
+		matmulRows(c, a, b, 0, m, k, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(c, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo,hi) of c = a×b using an ikj loop order so
+// the inner loop streams b and c rows contiguously.
+func matmulRows(c, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ×b for a of shape (k,m) and b of shape (k,n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v × %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	c := New(m, n)
+	// cᵀ accumulation: c[i][j] += a[p][i]*b[p][j]
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB returns a×bᵀ for a of shape (m,k) and b of shape (n,k).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	c := New(m, n)
+	work := m * k * n
+	if work < parallelThreshold || m < 2 {
+		matmulTransBRows(c.data, a.data, b.data, 0, m, k, n)
+		return c
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulTransBRows(c.data, a.data, b.data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+func matmulTransBRows(c, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return t
+}

@@ -1,0 +1,248 @@
+// Package tensor provides dense multi-dimensional arrays of float64 and
+// the numeric kernels (parallel matrix multiplication, im2col/col2im)
+// that the neural-network package is built on.
+//
+// Tensors are stored in row-major (C) order. A Tensor is a shape plus a
+// flat backing slice; views are not supported — every operation that
+// returns a Tensor returns one with its own backing storage unless the
+// documentation says otherwise.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major array of float64.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. A scalar is
+// represented by an empty shape. New panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}
+}
+
+// FromSlice wraps data into a tensor of the given shape. The slice is
+// used directly (not copied); len(data) must equal the shape volume.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the flat backing slice (row-major). Mutations are visible
+// to the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's storage with a new shape of the
+// same volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, len(t.data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// offset converts a multi-index to a flat offset.
+func (t *Tensor) offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match rank %d", idx, len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx...)] }
+
+// Set stores v at the multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx...)] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add accumulates u into t element-wise. Shapes must match in volume.
+func (t *Tensor) Add(u *Tensor) {
+	if len(t.data) != len(u.data) {
+		panic("tensor: Add size mismatch")
+	}
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+}
+
+// Sub subtracts u from t element-wise.
+func (t *Tensor) Sub(u *Tensor) {
+	if len(t.data) != len(u.data) {
+		panic("tensor: Sub size mismatch")
+	}
+	for i, v := range u.data {
+		t.data[i] -= v
+	}
+}
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AXPY computes t += a*u element-wise.
+func (t *Tensor) AXPY(a float64, u *Tensor) {
+	if len(t.data) != len(u.data) {
+		panic("tensor: AXPY size mismatch")
+	}
+	for i, v := range u.data {
+		t.data[i] += a * v
+	}
+}
+
+// Dot returns the inner product of the flattened tensors.
+func (t *Tensor) Dot(u *Tensor) float64 {
+	if len(t.data) != len(u.data) {
+		panic("tensor: Dot size mismatch")
+	}
+	s := 0.0
+	for i, v := range u.data {
+		s += t.data[i] * v
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	if len(t.data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Apply replaces each element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	if len(t.data) > 64 {
+		return fmt.Sprintf("Tensor(shape=%v, %d elems)", t.shape, len(t.data))
+	}
+	return fmt.Sprintf("Tensor(shape=%v, data=%v)", t.shape, t.data)
+}

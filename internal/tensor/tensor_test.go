@@ -1,0 +1,440 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Rank() != 3 || a.Size() != 24 {
+		t.Fatalf("got rank %d size %d", a.Rank(), a.Size())
+	}
+	if a.Dim(0) != 2 || a.Dim(1) != 3 || a.Dim(2) != 4 {
+		t.Fatalf("dims wrong: %v", a.Shape())
+	}
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewScalar(t *testing.T) {
+	s := New()
+	if s.Size() != 1 || s.Rank() != 0 {
+		t.Fatalf("scalar tensor: size=%d rank=%d", s.Size(), s.Rank())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dim")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	a := FromSlice(d, 2, 2)
+	d[3] = 9
+	if a.At(1, 1) != 9 {
+		t.Fatal("FromSlice must alias the input slice")
+	}
+}
+
+func TestFromSliceWrongLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRowMajor(t *testing.T) {
+	a := New(2, 3)
+	a.Set(7, 1, 2)
+	if a.Data()[5] != 7 {
+		t.Fatalf("row-major layout violated: %v", a.Data())
+	}
+	if a.At(1, 2) != 7 {
+		t.Fatal("At after Set")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	a := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for index %v", idx)
+				}
+			}()
+			a.At(idx...)
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Set(100, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set(42, 2, 1)
+	if a.At(1, 2) != 42 {
+		t.Fatal("Reshape must share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad reshape volume must panic")
+		}
+	}()
+	a.Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{10, 20, 30}, 3)
+	a.Add(b)
+	want := []float64{11, 22, 33}
+	for i, w := range want {
+		if a.Data()[i] != w {
+			t.Fatalf("Add: got %v", a.Data())
+		}
+	}
+	a.Sub(b)
+	for i, w := range []float64{1, 2, 3} {
+		if a.Data()[i] != w {
+			t.Fatalf("Sub: got %v want %v at %d", a.Data(), w, i)
+		}
+	}
+	a.Scale(2)
+	if a.Data()[2] != 6 {
+		t.Fatalf("Scale: got %v", a.Data())
+	}
+	a.AXPY(0.5, b) // {2,4,6} + 0.5*{10,20,30} = {7,14,21}
+	if a.Data()[0] != 7 || a.Data()[2] != 21 {
+		t.Fatalf("AXPY: got %v", a.Data())
+	}
+}
+
+func TestDotSumMaxArgMaxNorm(t *testing.T) {
+	a := FromSlice([]float64{3, -1, 4}, 3)
+	b := FromSlice([]float64{1, 1, 1}, 3)
+	if got := a.Dot(b); got != 6 {
+		t.Fatalf("Dot got %v", got)
+	}
+	if got := a.Sum(); got != 6 {
+		t.Fatalf("Sum got %v", got)
+	}
+	if got := a.Max(); got != 4 {
+		t.Fatalf("Max got %v", got)
+	}
+	if got := a.ArgMax(); got != 2 {
+		t.Fatalf("ArgMax got %v", got)
+	}
+	if got := a.Norm2(); math.Abs(got-math.Sqrt(26)) > 1e-12 {
+		t.Fatalf("Norm2 got %v", got)
+	}
+}
+
+func TestFillZeroApply(t *testing.T) {
+	a := New(4)
+	a.Fill(2)
+	a.Apply(func(x float64) float64 { return x * x })
+	if a.Sum() != 16 {
+		t.Fatalf("Apply: %v", a.Data())
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Fatal("equal shapes reported unequal")
+	}
+	if New(2, 3).SameShape(New(3, 2)) || New(2, 3).SameShape(New(2, 3, 1)) {
+		t.Fatal("unequal shapes reported equal")
+	}
+}
+
+// --- matmul ---
+
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			c.Set(s, i, j)
+		}
+	}
+	return c
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data() {
+		t.Data()[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func tensorsClose(a, b *Tensor, tol float64) bool {
+	if len(a.Data()) != len(b.Data()) {
+		return false
+	}
+	for i := range a.Data() {
+		if math.Abs(a.Data()[i]-b.Data()[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {64, 33, 17}, {128, 64, 96}} {
+		a := randTensor(rng, dims[0], dims[1])
+		b := randTensor(rng, dims[1], dims[2])
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if !tensorsClose(got, want, 1e-9) {
+			t.Fatalf("MatMul mismatch for dims %v", dims)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randTensor(rng, 9, 9)
+	id := New(9, 9)
+	for i := 0; i < 9; i++ {
+		id.Set(1, i, i)
+	}
+	if !tensorsClose(MatMul(a, id), a, 1e-12) || !tensorsClose(MatMul(id, a), a, 1e-12) {
+		t.Fatal("identity is not neutral for MatMul")
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randTensor(rng, 6, 5)
+	b := randTensor(rng, 5, 4)
+	c := New(6, 4)
+	c.Fill(99) // must be overwritten
+	MatMulInto(c, a, b)
+	if !tensorsClose(c, naiveMatMul(a, b), 1e-9) {
+		t.Fatal("MatMulInto mismatch")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randTensor(rng, 7, 5) // (k,m) -> aT is (5,7)
+	b := randTensor(rng, 7, 6)
+	got := MatMulTransA(a, b)
+	want := naiveMatMul(Transpose(a), b)
+	if !tensorsClose(got, want, 1e-9) {
+		t.Fatal("MatMulTransA mismatch")
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randTensor(rng, 40, 5)
+	b := randTensor(rng, 6, 5) // bT is (5,6)
+	got := MatMulTransB(a, b)
+	want := naiveMatMul(a, Transpose(b))
+	if !tensorsClose(got, want, 1e-9) {
+		t.Fatal("MatMulTransB mismatch")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randTensor(rng, 5, 8)
+	if !tensorsClose(Transpose(Transpose(a)), a, 0) {
+		t.Fatal("transpose twice must be identity")
+	}
+}
+
+// Property: (A+B)C == AC + BC (distributivity), via testing/quick on
+// random seeds.
+func TestMatMulDistributiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, m, k)
+		c := randTensor(rng, k, n)
+		ab := a.Clone()
+		ab.Add(b)
+		left := MatMul(ab, c)
+		right := MatMul(a, c)
+		right.Add(MatMul(b, c))
+		return tensorsClose(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- im2col ---
+
+func TestConvGeomOutDims(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 5, InW: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1}
+	if g.OutH() != 3 || g.OutW() != 3 {
+		t.Fatalf("out dims %dx%d", g.OutH(), g.OutW())
+	}
+	g2 := ConvGeom{InC: 1, InH: 6, InW: 6, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	if g2.OutH() != 3 || g2.OutW() != 3 {
+		t.Fatalf("padded out dims %dx%d", g2.OutH(), g2.OutW())
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	good := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []ConvGeom{
+		{InC: 0, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 1, StrideW: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 0, KW: 2, StrideH: 1, StrideW: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 0, StrideW: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 1, StrideW: 1, PadH: -1},
+		{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, StrideH: 1, StrideW: 1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("bad geometry %d accepted: %+v", i, g)
+		}
+	}
+}
+
+// Paper Figure 2(b): 5x5-ish example — verify im2col+matmul reproduces a
+// hand-computed direct convolution.
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ConvGeom{InC: 2, InH: 7, InW: 6, KH: 3, KW: 3, StrideH: 2, StrideW: 1, PadH: 1, PadW: 1}
+	in := randTensor(rng, g.InC, g.InH, g.InW)
+	filters := randTensor(rng, 4, g.InC*g.KH*g.KW) // 4 output channels
+
+	cols := Im2Col(in, g)
+	out := MatMul(filters, cols) // (4, OutH*OutW)
+
+	oh, ow := g.OutH(), g.OutW()
+	for f := 0; f < 4; f++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := 0.0
+				w := 0
+				for c := 0; c < g.InC; c++ {
+					for kh := 0; kh < g.KH; kh++ {
+						for kw := 0; kw < g.KW; kw++ {
+							iy := oy*g.StrideH + kh - g.PadH
+							ix := ox*g.StrideW + kw - g.PadW
+							var v float64
+							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+								v = in.At(c, iy, ix)
+							}
+							s += filters.At(f, w) * v
+							w++
+						}
+					}
+				}
+				if math.Abs(out.At(f, oy*ow+ox)-s) > 1e-9 {
+					t.Fatalf("conv mismatch at f=%d oy=%d ox=%d", f, oy, ox)
+				}
+			}
+		}
+	}
+}
+
+// Property: <Im2Col(x), y> == <x, Col2Im(y)> — Col2Im is the true adjoint
+// of Im2Col, which is exactly what back-propagation requires.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ConvGeom{
+			InC: 1 + rng.Intn(3), InH: 4 + rng.Intn(6), InW: 4 + rng.Intn(6),
+			KH: 1 + rng.Intn(3), KW: 1 + rng.Intn(3),
+			StrideH: 1 + rng.Intn(2), StrideW: 1 + rng.Intn(2),
+			PadH: rng.Intn(2), PadW: rng.Intn(2),
+		}
+		if g.Validate() != nil {
+			return true // skip impossible geometry
+		}
+		x := randTensor(rng, g.InC, g.InH, g.InW)
+		y := randTensor(rng, g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+		lhs := Im2Col(x, g).Dot(y)
+		rhs := x.Dot(Col2Im(y, g))
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+	in := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	cols := Im2Col(in, g)
+	// Columns are output positions (2x2 of them); rows are kernel taps.
+	want := [][]float64{
+		{1, 2, 4, 5}, // tap (0,0)
+		{2, 3, 5, 6}, // tap (0,1)
+		{4, 5, 7, 8}, // tap (1,0)
+		{5, 6, 8, 9}, // tap (1,1)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if cols.At(r, c) != want[r][c] {
+				t.Fatalf("Im2Col[%d][%d] = %v, want %v", r, c, cols.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := New(2)
+	if small.String() == "" {
+		t.Fatal("empty String")
+	}
+	big := New(100)
+	if big.String() == "" {
+		t.Fatal("empty String for big tensor")
+	}
+}
