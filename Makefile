@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: build, vet, and the full test suite under the
+# race detector (worker pools, the imported-matrix registry and the
+# checkpointer are all concurrency-sensitive).
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchtime=200ms -run=^$$ .

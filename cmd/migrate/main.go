@@ -7,12 +7,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/dataset"
 	"repro/internal/machine"
+	"repro/internal/nn"
 	"repro/internal/selector"
 )
 
@@ -32,7 +37,16 @@ func main() {
 	}
 	src, err := selector.LoadFile(*modelPath)
 	if err != nil {
-		fail(err)
+		switch {
+		case errors.Is(err, nn.ErrChecksum), errors.Is(err, nn.ErrTruncated):
+			fail(fmt.Errorf("%s is corrupt or truncated (%v); re-export the source model", *modelPath, err))
+		case errors.Is(err, nn.ErrBadMagic), errors.Is(err, nn.ErrWrongKind):
+			fail(fmt.Errorf("%s is not a selector model file (%v)", *modelPath, err))
+		case errors.Is(err, nn.ErrVersion):
+			fail(fmt.Errorf("%s was written by an incompatible version (%v)", *modelPath, err))
+		default:
+			fail(err)
+		}
 	}
 	var m selector.TransferMethod
 	switch *method {
@@ -65,8 +79,14 @@ func main() {
 	if m != selector.FromScratch {
 		migrated.Cfg.LearningRate *= 0.4 // standard fine-tuning step size
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Printf("retraining with %s (%d epochs)\n", m, migrated.Cfg.Epochs)
-	if _, err := migrated.Train(d, nil); err != nil {
+	if _, err := migrated.TrainCtx(ctx, d, nil); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "migrate: interrupted")
+			os.Exit(130)
+		}
 		fail(err)
 	}
 	metrics, err := migrated.Evaluate(d, nil)

@@ -2,7 +2,13 @@
 // MatrixMarket file with a trained model — the artifact's
 // `spmv_model.py predict data/example.mtx` mode.
 //
+// With -fallback the command never fails on a bad model or matrix: it
+// degrades to CSR (the paper's baseline format) and reports why, which
+// is the behaviour a production service wants on a corrupt deploy
+// artifact.
+//
 //	predict -model model.gob matrix.mtx
+//	predict -model model.gob -fallback matrix.mtx
 package main
 
 import (
@@ -18,15 +24,25 @@ import (
 
 func main() {
 	modelPath := flag.String("model", "model.gob", "trained model file")
+	fallback := flag.Bool("fallback", false, "degrade to CSR instead of failing on load/predict errors")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: predict -model model.gob matrix.mtx")
+		fmt.Fprintln(os.Stderr, "usage: predict -model model.gob [-fallback] matrix.mtx")
 		os.Exit(2)
 	}
 	s, err := selector.LoadFile(*modelPath)
-	if err != nil {
+	if err != nil && !*fallback {
 		fmt.Fprintln(os.Stderr, "predict:", err)
 		os.Exit(1)
+	}
+	if *fallback {
+		p := predictFallback(s, err, flag.Arg(0))
+		fmt.Println(p.Format)
+		if p.FellBack {
+			fmt.Printf("  (fallback: %v)\n", p.Reason)
+		}
+		printProbs(p.Probs)
+		return
 	}
 	format, probs, err := core.Predict(s, flag.Arg(0))
 	if err != nil {
@@ -34,6 +50,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(format)
+	printProbs(probs)
+}
+
+// predictFallback resolves a prediction that always succeeds: model
+// load failures and unreadable matrices degrade to the CSR baseline
+// with the cause recorded.
+func predictFallback(s *selector.Selector, loadErr error, mtxPath string) selector.Prediction {
+	if loadErr != nil {
+		return selector.FallbackPrediction(loadErr)
+	}
+	m, err := sparse.ReadMatrixMarketFile(mtxPath)
+	if err != nil {
+		return selector.FallbackPrediction(err)
+	}
+	return s.PredictWithFallback(m)
+}
+
+func printProbs(probs map[sparse.Format]float64) {
 	type fp struct {
 		f sparse.Format
 		p float64

@@ -3,13 +3,23 @@
 // generates and labels a corpus, trains the selector, reports held-out
 // metrics, and saves the model (and optionally the dataset).
 //
+// With -checkpoint-dir the run snapshots training state periodically;
+// an interrupted run (crash, Ctrl-C, SIGTERM) can then be continued
+// from where it left off:
+//
 //	train -platform xeonlike -count 800 -epochs 40 -out model.gob
+//	train -checkpoint-dir ckpt -epochs 40 -out model.gob   # interrupted...
+//	train -checkpoint-dir ckpt -epochs 40 -out model.gob -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/represent"
@@ -27,6 +37,9 @@ func main() {
 	wall := flag.Bool("wallclock", false, "label with real kernel timings instead of the platform model")
 	out := flag.String("out", "model.gob", "output model file")
 	dataOut := flag.String("dataset", "", "optional dataset output file (gob)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic training checkpoints")
+	ckptEvery := flag.Int("checkpoint-every", 5, "checkpoint period in epochs")
+	resume := flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir")
 	flag.Parse()
 
 	var kind represent.Kind
@@ -41,12 +54,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "train: unknown representation %q\n", *rep)
 		os.Exit(2)
 	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "train: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
 
-	res, err := core.Train(core.Options{
+	// Ctrl-C / SIGTERM cancels the run at the next epoch boundary; the
+	// trainer flushes a final checkpoint before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := core.TrainCtx(ctx, core.Options{
 		Platform: *platform, Count: *count, MaxN: *maxN,
 		Representation: kind, RepSize: *repSize, RepBins: *repBins,
 		Epochs: *epochs, Seed: *seed, WallClock: *wall, Log: os.Stdout,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
 	})
+	if errors.Is(err, context.Canceled) {
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "train: interrupted; checkpoint flushed to %s (rerun with -resume to continue)\n", *ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "train: interrupted (no -checkpoint-dir, progress lost)")
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)

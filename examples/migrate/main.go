@@ -68,8 +68,13 @@ func main() {
 		if method != selector.FromScratch {
 			migrated.Cfg.LearningRate *= 0.4
 		}
-		migrated.TrainSamples(trainSamples)
-		m := migrated.EvaluateSamples(testSamples)
+		if _, err := migrated.TrainSamples(trainSamples); err != nil {
+			log.Fatal(err)
+		}
+		m, err := migrated.EvaluateSamples(testSamples)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-24s accuracy on a8like: %.1f%%\n", method, m.Accuracy()*100)
 	}
 }

@@ -7,11 +7,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/dataset"
 	"repro/internal/machine"
+	"repro/internal/nn"
 	"repro/internal/represent"
 	"repro/internal/selector"
 	"repro/internal/sparse"
@@ -43,6 +46,18 @@ type Options struct {
 	// the host instead of the platform cost model. Slower but
 	// measurement-grounded.
 	WallClock bool
+	// CheckpointDir, when non-empty, makes training write periodic
+	// checkpoints there (and a best-by-loss copy) so an interrupted run
+	// can be continued with Resume.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in epochs (default 5).
+	CheckpointEvery int
+	// Resume continues training from the newest checkpoint in
+	// CheckpointDir instead of starting fresh. The corpus is regenerated
+	// deterministically, so Platform, Count, MaxN and Seed must match
+	// the interrupted run. When the directory holds no checkpoint yet,
+	// the run starts from scratch.
+	Resume bool
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -72,6 +87,9 @@ func (o *Options) defaults() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 5
+	}
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -93,6 +111,15 @@ type Result struct {
 // label a corpus for the platform, train the CNN selector, and evaluate
 // it on a held-out split.
 func Train(o Options) (*Result, error) {
+	return TrainCtx(context.Background(), o)
+}
+
+// TrainCtx is Train with cancellation and fault tolerance: the run
+// checkpoints to o.CheckpointDir (if set), resumes an interrupted run
+// when o.Resume is set, and on ctx cancellation flushes a final
+// checkpoint and returns the partial Result (selector, corpus and
+// split, no held-out metrics) alongside the context error.
+func TrainCtx(ctx context.Context, o Options) (*Result, error) {
 	o.defaults()
 	p, err := machine.PlatformByName(o.Platform)
 	if err != nil {
@@ -112,30 +139,77 @@ func Train(o Options) (*Result, error) {
 		o.logf("        %-5s %d", f, counts[i])
 	}
 
-	cfg := selector.DefaultConfig(o.Representation, d.Formats)
-	cfg.Represent.Size = o.RepSize
-	cfg.Represent.Bins = o.RepBins
-	cfg.Epochs = o.Epochs
-	cfg.Workers = o.Workers
-	cfg.Seed = o.Seed
-	o.logf("step 2+3: %s representation (%dx%d), late-merging CNN", cfg.Represent.Kind, o.RepSize, o.RepBins)
-	s, err := selector.New(cfg)
-	if err != nil {
-		return nil, err
+	var (
+		s      *selector.Selector
+		resume *nn.Checkpoint
+	)
+	if o.Resume && o.CheckpointDir != "" {
+		s, resume, err = selector.LoadCheckpoint(o.CheckpointDir)
+		switch {
+		case err == nil:
+			o.logf("resuming from %s at epoch %d (loss %.3f)", o.CheckpointDir, resume.Epoch, resume.Loss)
+			// The target epoch count and parallelism come from this
+			// invocation; everything else (architecture, representation,
+			// hyperparameters) is restored from the checkpoint.
+			s.Cfg.Epochs = o.Epochs
+			s.Cfg.Workers = o.Workers
+		case errors.Is(err, nn.ErrNoCheckpoint):
+			o.logf("no checkpoint in %s; starting fresh", o.CheckpointDir)
+		default:
+			return nil, fmt.Errorf("core: resuming from %s: %w", o.CheckpointDir, err)
+		}
 	}
+	if s == nil {
+		cfg := selector.DefaultConfig(o.Representation, d.Formats)
+		cfg.Represent.Size = o.RepSize
+		cfg.Represent.Bins = o.RepBins
+		cfg.Epochs = o.Epochs
+		cfg.Workers = o.Workers
+		cfg.Seed = o.Seed
+		o.logf("step 2+3: %s representation (%dx%d), late-merging CNN", cfg.Represent.Kind, o.RepSize, o.RepBins)
+		s, err = selector.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var cp *nn.Checkpointer
+	if o.CheckpointDir != "" {
+		cp, err = nn.NewCheckpointer(o.CheckpointDir, o.CheckpointEvery, 3)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	trainIdx, testIdx := d.Split(o.TestFraction, o.Seed+7)
 	o.logf("step 4: training on %d matrices (%d epochs)", len(trainIdx), o.Epochs)
-	losses, err := s.Train(d, trainIdx)
+	samples, err := s.Samples(d, trainIdx)
 	if err != nil {
 		return nil, err
 	}
-	o.logf("        loss %.3f -> %.3f", losses[0], losses[len(losses)-1])
+	losses, err := s.TrainSamplesCtx(ctx, samples, cp, resume)
+	partial := &Result{Selector: s, Dataset: d, Train: trainIdx, Test: testIdx}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cp != nil {
+				o.logf("training interrupted after %d epochs this run; checkpoint flushed to %s", len(losses), o.CheckpointDir)
+			} else {
+				o.logf("training interrupted after %d epochs this run", len(losses))
+			}
+			return partial, err
+		}
+		return nil, err
+	}
+	if len(losses) > 0 {
+		o.logf("        loss %.3f -> %.3f", losses[0], losses[len(losses)-1])
+	}
 	m, err := s.Evaluate(d, testIdx)
 	if err != nil {
 		return nil, err
 	}
 	o.logf("held-out accuracy: %.1f%%", m.Accuracy()*100)
-	return &Result{Selector: s, Dataset: d, Train: trainIdx, Test: testIdx, Metrics: m}, nil
+	partial.Metrics = m
+	return partial, nil
 }
 
 // relabelWallClock replaces each record's label and times with wall-

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/nn"
 	"repro/internal/represent"
 	"repro/internal/sparse"
 	"repro/internal/synthgen"
@@ -112,6 +115,76 @@ func TestPredictFromFile(t *testing.T) {
 	}
 	if _, _, err := Predict(res.Selector, "/nonexistent.mtx"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// An interrupted run continued with Resume trains to the full target
+// and still evaluates; the checkpoint directory drives the handoff.
+func TestTrainCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	o := tinyOptions()
+	o.Count = 60
+	o.Epochs = 2
+	o.CheckpointDir = dir
+	o.CheckpointEvery = 1
+	if _, err := Train(o); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := nn.LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 2 {
+		t.Fatalf("checkpoint epoch %d, want 2", ck.Epoch)
+	}
+
+	o.Epochs = 4
+	o.Resume = true
+	var log bytes.Buffer
+	o.Log = &log
+	res, err := Train(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "resuming from") {
+		t.Fatalf("resume not logged:\n%s", log.String())
+	}
+	if res.Metrics == nil || res.Metrics.Total() == 0 {
+		t.Fatal("resumed run did not evaluate")
+	}
+	ck, err = nn.LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 4 {
+		t.Fatalf("final checkpoint epoch %d, want 4", ck.Epoch)
+	}
+
+	// Resume against a directory no run has written yet (not even
+	// created) just starts fresh.
+	o.CheckpointDir = filepath.Join(t.TempDir(), "not-yet-created")
+	if _, err := Train(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cancellation returns the partial result (selector, corpus, split)
+// alongside the context error instead of dropping everything.
+func TestTrainCtxCancelledReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := tinyOptions()
+	o.Count = 60
+	o.Epochs = 3
+	res, err := TrainCtx(ctx, o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Selector == nil || res.Dataset == nil || len(res.Train) == 0 {
+		t.Fatalf("partial result incomplete: %+v", res)
+	}
+	if res.Metrics != nil {
+		t.Fatal("cancelled run reported held-out metrics")
 	}
 }
 

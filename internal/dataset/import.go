@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/machine"
 	"repro/internal/sparse"
@@ -17,14 +18,19 @@ import (
 // when they are available. Files are read in sorted order for
 // determinism; each matrix is labelled with the given labeler.
 //
+// A malformed .mtx file does not abort the import: it is skipped, and
+// the per-file failures are returned as the second value so callers can
+// log or inspect them. The import only fails outright when zero files
+// load (or the directory cannot be read at all).
+//
 // Imported records keep the matrix accessible through the same
 // Record.Matrix() API as generated ones: the file path is carried in a
 // synthetic spec (Family = -1 is not valid for synthgen.Build, so
 // imported datasets store matrices inline via the registry below).
-func ImportMatrixMarket(dir string, lab *machine.Labeler) (*Dataset, error) {
+func ImportMatrixMarket(dir string, lab *machine.Labeler) (*Dataset, []error, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
+		return nil, nil, fmt.Errorf("dataset: %w", err)
 	}
 	var paths []string
 	for _, e := range entries {
@@ -34,28 +40,34 @@ func ImportMatrixMarket(dir string, lab *machine.Labeler) (*Dataset, error) {
 	}
 	sort.Strings(paths)
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("dataset: no .mtx files in %s", dir)
+		return nil, nil, fmt.Errorf("dataset: no .mtx files in %s", dir)
 	}
 	d := &Dataset{Platform: lab.Platform.Name, Formats: lab.Platform.FormatSet()}
 	if len(lab.Formats) > 0 {
 		d.Formats = lab.Formats
 	}
-	for i, path := range paths {
+	var skipped []error
+	for _, path := range paths {
 		m, err := sparse.ReadMatrixMarketFile(path)
 		if err != nil {
-			return nil, err
+			skipped = append(skipped, fmt.Errorf("dataset: skipping %s: %w", path, err))
+			continue
 		}
+		id := uint64(len(d.Records))
 		st := sparse.ComputeStats(m)
-		label, times := lab.Label(st, uint64(i))
+		label, times := lab.Label(st, id)
 		d.Records = append(d.Records, Record{
-			ID:    uint64(i),
+			ID:    id,
 			Spec:  registerImported(m),
 			Stats: st,
 			Label: label,
 			Times: times,
 		})
 	}
-	return d, nil
+	if len(d.Records) == 0 {
+		return nil, skipped, fmt.Errorf("dataset: no loadable .mtx files in %s (%d skipped)", dir, len(skipped))
+	}
+	return d, skipped, nil
 }
 
 // Imported matrices cannot be regenerated from a synthgen spec, so they
@@ -65,9 +77,14 @@ func ImportMatrixMarket(dir string, lab *machine.Labeler) (*Dataset, error) {
 // labels do) — re-import to recover matrix access.
 const importedFamily synthgen.Family = -1
 
-var importedRegistry []*sparse.COO
+var (
+	importedMu       sync.RWMutex
+	importedRegistry []*sparse.COO
+)
 
 func registerImported(m *sparse.COO) synthgen.Spec {
+	importedMu.Lock()
+	defer importedMu.Unlock()
 	importedRegistry = append(importedRegistry, m)
 	return synthgen.Spec{Family: importedFamily, Seed: int64(len(importedRegistry) - 1)}
 }
@@ -77,6 +94,8 @@ func importedMatrix(s synthgen.Spec) (*sparse.COO, bool) {
 	if s.Family != importedFamily {
 		return nil, false
 	}
+	importedMu.RLock()
+	defer importedMu.RUnlock()
 	idx := int(s.Seed)
 	if idx < 0 || idx >= len(importedRegistry) {
 		return nil, false

@@ -3,6 +3,7 @@ package dataset
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
@@ -24,9 +25,12 @@ func TestImportMatrixMarket(t *testing.T) {
 		}
 	}
 	lab := machine.NewLabeler(machine.XeonLike(), 1)
-	d, err := ImportMatrixMarket(dir, lab)
+	d, skipped, err := ImportMatrixMarket(dir, lab)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("clean import skipped %d files: %v", len(skipped), skipped)
 	}
 	if len(d.Records) != 3 {
 		t.Fatalf("records %d", len(d.Records))
@@ -48,23 +52,96 @@ func TestImportMatrixMarket(t *testing.T) {
 
 func TestImportMatrixMarketEmptyDir(t *testing.T) {
 	lab := machine.NewLabeler(machine.XeonLike(), 1)
-	if _, err := ImportMatrixMarket(t.TempDir(), lab); err == nil {
+	if _, _, err := ImportMatrixMarket(t.TempDir(), lab); err == nil {
 		t.Fatal("empty dir accepted")
 	}
-	if _, err := ImportMatrixMarket("/nonexistent-dir", lab); err == nil {
+	if _, _, err := ImportMatrixMarket("/nonexistent-dir", lab); err == nil {
 		t.Fatal("missing dir accepted")
 	}
 }
 
-func TestImportMatrixMarketBadFile(t *testing.T) {
+// A malformed file among good ones is skipped and reported, not fatal.
+func TestImportMatrixMarketSkipsBadFile(t *testing.T) {
+	dir := t.TempDir()
+	good := synthgen.Random(60, 60, 300, 4)
+	if err := sparse.WriteMatrixMarketFile(filepath.Join(dir, "good.mtx"), good); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(filepath.Join(dir, "bad.mtx"), "not a matrix"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(filepath.Join(dir, "trunc.mtx"), "%%MatrixMarket matrix coordinate real general\n5 5 3\n1 1"); err != nil {
+		t.Fatal(err)
+	}
+	lab := machine.NewLabeler(machine.XeonLike(), 1)
+	d, skipped, err := ImportMatrixMarket(dir, lab)
+	if err != nil {
+		t.Fatalf("import with one good file failed: %v", err)
+	}
+	if len(d.Records) != 1 {
+		t.Fatalf("records %d, want 1", len(d.Records))
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped %d files, want 2: %v", len(skipped), skipped)
+	}
+	if !d.Records[0].Matrix().Equal(good) {
+		t.Fatal("surviving record is not the good matrix")
+	}
+}
+
+// When every file is malformed the import fails and reports each skip.
+func TestImportMatrixMarketAllBad(t *testing.T) {
 	dir := t.TempDir()
 	if err := writeFile(filepath.Join(dir, "bad.mtx"), "not a matrix"); err != nil {
 		t.Fatal(err)
 	}
 	lab := machine.NewLabeler(machine.XeonLike(), 1)
-	if _, err := ImportMatrixMarket(dir, lab); err == nil {
-		t.Fatal("bad file accepted")
+	_, skipped, err := ImportMatrixMarket(dir, lab)
+	if err == nil {
+		t.Fatal("all-bad dir accepted")
 	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped %d files, want 1", len(skipped))
+	}
+}
+
+// Concurrent imports alongside Record.Matrix() reads must be safe: the
+// registry is shared process state (run under -race).
+func TestImportedRegistryConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	m := synthgen.Random(40, 40, 160, 9)
+	if err := sparse.WriteMatrixMarketFile(filepath.Join(dir, "m.mtx"), m); err != nil {
+		t.Fatal(err)
+	}
+	lab := machine.NewLabeler(machine.XeonLike(), 1)
+	seed, _, err := ImportMatrixMarket(dir, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, _, err := ImportMatrixMarket(dir, lab); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := seed.Records[0].Matrix(); !got.Equal(m) {
+					t.Error("registry lookup returned wrong matrix")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func writeFile(path, content string) error {

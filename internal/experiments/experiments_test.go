@@ -37,6 +37,9 @@ func TestTable2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
+	if raceEnabled {
+		t.Skip("too slow under the race detector; concurrency is race-tested in the worker packages")
+	}
 	var buf bytes.Buffer
 	res, err := RunTable2(Quick(), &buf)
 	if err != nil {
@@ -76,6 +79,9 @@ func TestTable3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
+	if raceEnabled {
+		t.Skip("too slow under the race detector; concurrency is race-tested in the worker packages")
+	}
 	res, err := RunTable3(Quick(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -112,6 +118,9 @@ func TestFig8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
+	if raceEnabled {
+		t.Skip("too slow under the race detector; concurrency is race-tested in the worker packages")
+	}
 	var buf bytes.Buffer
 	res, err := RunFig8(Quick(), &buf)
 	if err != nil {
@@ -143,6 +152,9 @@ func TestFig9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
+	if raceEnabled {
+		t.Skip("too slow under the race detector; concurrency is race-tested in the worker packages")
+	}
 	var buf bytes.Buffer
 	res, err := RunFig9(Quick(), &buf)
 	if err != nil {
@@ -171,6 +183,9 @@ func TestFig9Shape(t *testing.T) {
 func TestFig11Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
+	}
+	if raceEnabled {
+		t.Skip("too slow under the race detector; concurrency is race-tested in the worker packages")
 	}
 	var buf bytes.Buffer
 	res, err := RunFig11(Quick(), &buf)
@@ -205,6 +220,9 @@ func TestFig10Prints(t *testing.T) {
 func TestOverheadShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
+	}
+	if raceEnabled {
+		t.Skip("too slow under the race detector; concurrency is race-tested in the worker packages")
 	}
 	var buf bytes.Buffer
 	res, err := RunOverhead(Quick(), &buf)

@@ -48,7 +48,10 @@ func RunFig11(o Options, w io.Writer) (*Fig11Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		curve := s.TrainSteps(samples, o.Steps)
+		curve, err := s.TrainSteps(samples, o.Steps)
+		if err != nil {
+			return nil, err
+		}
 		if structure == selector.LateMerging {
 			res.LateLoss = curve
 		} else {

@@ -94,9 +94,14 @@ func RunFig9(o Options, w io.Writer) (*Fig9Result, error) {
 				migrated.Cfg.LearningRate *= 0.4
 			}
 			if size > 0 {
-				migrated.TrainSamples(trainSamples[:size])
+				if _, err := migrated.TrainSamples(trainSamples[:size]); err != nil {
+					return nil, err
+				}
 			}
-			m := migrated.EvaluateSamples(testSamples)
+			m, err := migrated.EvaluateSamples(testSamples)
+			if err != nil {
+				return nil, err
+			}
 			res.Accuracy[mi] = append(res.Accuracy[mi], m.Accuracy())
 		}
 	}

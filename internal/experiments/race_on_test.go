@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector. The experiment reproductions take minutes without it and
+// several times longer with it, blowing past go test's per-package
+// timeout; their concurrency (worker pools in dataset, nn, selector,
+// spmv) is race-tested directly in those packages, so the slow shape
+// tests skip themselves under -race.
+const raceEnabled = true

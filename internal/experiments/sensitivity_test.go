@@ -10,6 +10,9 @@ func TestSensitivityShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
+	if raceEnabled {
+		t.Skip("too slow under the race detector; concurrency is race-tested in the worker packages")
+	}
 	o := Quick()
 	o.Count = 220
 	o.Epochs = 10

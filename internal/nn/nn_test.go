@@ -230,11 +230,19 @@ func TestTrainingLearnsToyProblem(t *testing.T) {
 	test := makeToyProblem(rng, 60)
 	m := toyModel(rng)
 	tr := NewTrainer(m, NewAdam(0.005), 16, 1)
-	accBefore, _ := tr.Evaluate(test)
-	for e := 0; e < 12; e++ {
-		tr.TrainEpoch(train)
+	accBefore, _, err := tr.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
 	}
-	accAfter, loss := tr.Evaluate(test)
+	for e := 0; e < 12; e++ {
+		if _, err := tr.TrainEpoch(train); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accAfter, loss, err := tr.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if accAfter < 0.9 {
 		t.Fatalf("accuracy after training %v (before %v), loss %v", accAfter, accBefore, loss)
 	}
@@ -274,7 +282,10 @@ func TestTrainStepsReturnsLosses(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	m := toyModel(rng)
 	tr := NewTrainer(m, NewAdam(0.003), 8, 2)
-	losses := tr.TrainSteps(makeToyProblem(rng, 40), 20)
+	losses, err := tr.TrainSteps(makeToyProblem(rng, 40), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(losses) != 20 {
 		t.Fatalf("got %d losses", len(losses))
 	}

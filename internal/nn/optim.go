@@ -12,6 +12,59 @@ type Optimizer interface {
 	Step(params []*Param, batchSize int)
 }
 
+// OptState is a serialisable snapshot of an optimiser's internal state
+// (step count and per-parameter slot buffers, addressed by the
+// parameter's index in Model.Params() order). Checkpoints carry it so a
+// resumed run continues with identical optimiser dynamics instead of
+// cold-started moments.
+type OptState struct {
+	T     int
+	Slots map[string][][]float64
+}
+
+// StatefulOptimizer is implemented by optimisers whose update depends
+// on history (momentum, Adam moments); checkpointing uses it to make
+// resume bit-identical.
+type StatefulOptimizer interface {
+	Optimizer
+	// StateSnapshot deep-copies the optimiser state for the given
+	// parameter list.
+	StateSnapshot(params []*Param) OptState
+	// RestoreState replaces the optimiser state from a snapshot taken
+	// with the same parameter list (by position).
+	RestoreState(params []*Param, st OptState)
+}
+
+// LRAdjustable is implemented by optimisers with a tunable step size;
+// divergence recovery uses it to back the learning rate off.
+type LRAdjustable interface {
+	GetLR() float64
+	SetLR(lr float64)
+}
+
+// slotSnapshot deep-copies one map-backed slot in params order.
+func slotSnapshot(slot map[*Param][]float64, params []*Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		if v := slot[p]; v != nil {
+			out[i] = append([]float64(nil), v...)
+		}
+	}
+	return out
+}
+
+// slotRestore re-installs a snapshot taken with slotSnapshot.
+func slotRestore(slot map[*Param][]float64, params []*Param, saved [][]float64) {
+	for p := range slot {
+		delete(slot, p)
+	}
+	for i, p := range params {
+		if i < len(saved) && saved[i] != nil {
+			slot[p] = append([]float64(nil), saved[i]...)
+		}
+	}
+}
+
 // SGD is stochastic gradient descent with classical momentum.
 type SGD struct {
 	LR       float64
@@ -46,6 +99,25 @@ func (o *SGD) Step(params []*Param, batchSize int) {
 			pd[i] += v[i]
 		}
 	}
+}
+
+// GetLR returns the current learning rate.
+func (o *SGD) GetLR() float64 { return o.LR }
+
+// SetLR replaces the learning rate.
+func (o *SGD) SetLR(lr float64) { o.LR = lr }
+
+// StateSnapshot deep-copies the momentum buffers.
+func (o *SGD) StateSnapshot(params []*Param) OptState {
+	return OptState{Slots: map[string][][]float64{"vel": slotSnapshot(o.velocity, params)}}
+}
+
+// RestoreState reinstalls momentum buffers from a snapshot.
+func (o *SGD) RestoreState(params []*Param, st OptState) {
+	if o.velocity == nil {
+		o.velocity = make(map[*Param][]float64)
+	}
+	slotRestore(o.velocity, params, st.Slots["vel"])
 }
 
 // Adam is the Adam optimiser (Kingma & Ba) with optional decoupled
@@ -97,4 +169,35 @@ func (o *Adam) Step(params []*Param, batchSize int) {
 			pd[i] -= o.LR * (mHat/(math.Sqrt(vHat)+o.Eps) + o.WeightDecay*pd[i])
 		}
 	}
+}
+
+// GetLR returns the current learning rate.
+func (o *Adam) GetLR() float64 { return o.LR }
+
+// SetLR replaces the learning rate.
+func (o *Adam) SetLR(lr float64) { o.LR = lr }
+
+// StateSnapshot deep-copies the step count and moment buffers.
+func (o *Adam) StateSnapshot(params []*Param) OptState {
+	return OptState{
+		T: o.t,
+		Slots: map[string][][]float64{
+			"m": slotSnapshot(o.m, params),
+			"v": slotSnapshot(o.v, params),
+		},
+	}
+}
+
+// RestoreState reinstalls the step count and moment buffers from a
+// snapshot.
+func (o *Adam) RestoreState(params []*Param, st OptState) {
+	o.t = st.T
+	if o.m == nil {
+		o.m = make(map[*Param][]float64)
+	}
+	if o.v == nil {
+		o.v = make(map[*Param][]float64)
+	}
+	slotRestore(o.m, params, st.Slots["m"])
+	slotRestore(o.v, params, st.Slots["v"])
 }

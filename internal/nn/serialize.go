@@ -1,14 +1,161 @@
 package nn
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"repro/internal/tensor"
 )
+
+// Model files on disk are wrapped in a small versioned envelope so a
+// truncated download, a bit-flipped block, or a file from a newer
+// incompatible build is rejected with a typed error before gob ever
+// sees it — a bad deploy artifact must fail loudly and fall back, not
+// crash inference with an opaque decode panic deep in the stack.
+//
+// Envelope layout (big-endian):
+//
+//	offset 0  magic   "SMFS" (4 bytes)
+//	offset 4  version uint32 (currently 1)
+//	offset 8  kind    uint32 (model / selector / checkpoint)
+//	offset 12 length  uint64 (payload bytes)
+//	offset 20 crc     uint32 (CRC-32C of the payload)
+//	offset 24 payload
+const (
+	envelopeMagic   = "SMFS"
+	EnvelopeVersion = 1
+	envelopeHdrLen  = 24
+)
+
+// Envelope payload kinds. The kind is checked on read so a checkpoint
+// file cannot be silently loaded where a model file is expected.
+const (
+	EnvelopeModel uint32 = iota + 1
+	EnvelopeSelector
+	EnvelopeCheckpoint
+)
+
+// Typed envelope errors. Callers match with errors.Is to distinguish
+// "not a model file" from "damaged model file" from "future version".
+var (
+	// ErrBadMagic means the file is not an envelope at all (wrong tool,
+	// wrong file, or a legacy raw-gob artifact).
+	ErrBadMagic = errors.New("nn: not a recognised model file (bad magic)")
+	// ErrTruncated means the file ended before the declared payload.
+	ErrTruncated = errors.New("nn: model file truncated")
+	// ErrChecksum means the payload bytes do not match their CRC.
+	ErrChecksum = errors.New("nn: model file checksum mismatch (corrupt)")
+	// ErrVersion means the envelope version is not supported.
+	ErrVersion = errors.New("nn: unsupported model file version")
+	// ErrWrongKind means the envelope holds a different artifact type.
+	ErrWrongKind = errors.New("nn: model file holds a different artifact kind")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteEnvelope wraps payload in the versioned, checksummed envelope.
+func WriteEnvelope(w io.Writer, kind uint32, payload []byte) error {
+	hdr := make([]byte, envelopeHdrLen)
+	copy(hdr[0:4], envelopeMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], EnvelopeVersion)
+	binary.BigEndian.PutUint32(hdr[8:12], kind)
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[20:24], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("nn: writing envelope header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("nn: writing envelope payload: %w", err)
+	}
+	return nil
+}
+
+// ReadEnvelope validates the envelope and returns the payload. All
+// failure modes map to the typed errors above.
+func ReadEnvelope(r io.Reader, kind uint32) ([]byte, error) {
+	hdr := make([]byte, envelopeHdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header short read: %v", ErrTruncated, err)
+	}
+	if string(hdr[0:4]) != envelopeMagic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint32(hdr[4:8]); v != EnvelopeVersion {
+		return nil, fmt.Errorf("%w: file version %d, supported %d", ErrVersion, v, EnvelopeVersion)
+	}
+	if k := binary.BigEndian.Uint32(hdr[8:12]); k != kind {
+		return nil, fmt.Errorf("%w: got kind %d, want %d", ErrWrongKind, k, kind)
+	}
+	n := binary.BigEndian.Uint64(hdr[12:20])
+	const maxPayload = 1 << 32 // 4 GiB sanity bound against a corrupt length field
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrChecksum, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload short read: %v", ErrTruncated, err)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), binary.BigEndian.Uint32(hdr[20:24]); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, header says %08x", ErrChecksum, got, want)
+	}
+	return payload, nil
+}
+
+// WriteEnvelopeFile atomically writes an enveloped artifact: the bytes
+// land in a temp file in the destination directory, are fsynced, and
+// only then renamed over the target — a crash mid-write can never leave
+// a half-written file at the published path.
+func WriteEnvelopeFile(path string, kind uint32, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("nn: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if err := WriteEnvelope(tmp, kind, payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("nn: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("nn: close %s: %w", tmpName, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("nn: chmod %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("nn: publishing %s: %w", path, err)
+	}
+	// Persist the rename itself; ignore platforms where directories
+	// cannot be fsynced.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadEnvelopeFile reads and validates an enveloped artifact.
+func ReadEnvelopeFile(path string, kind uint32) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %w", err)
+	}
+	defer f.Close()
+	return ReadEnvelope(f, kind)
+}
 
 // LayerSpec is the serialisable description of one layer.
 type LayerSpec struct {
@@ -166,27 +313,54 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// SaveFile writes the model to a file.
+// SaveFile writes the model to a file inside the checksummed envelope,
+// atomically (temp file + fsync + rename).
 func SaveFile(path string, m *Model) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("nn: %w", err)
-	}
-	if err := Save(f, m); err != nil {
-		f.Close()
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
 		return err
 	}
-	return f.Close()
+	return WriteEnvelopeFile(path, EnvelopeModel, buf.Bytes())
 }
 
-// LoadFile reads a model from a file.
+// LoadFile reads a model from a file, rejecting truncated, corrupted,
+// wrong-kind or wrong-version files with typed errors (ErrTruncated,
+// ErrChecksum, ErrBadMagic, ErrWrongKind, ErrVersion).
 func LoadFile(path string) (*Model, error) {
-	f, err := os.Open(path)
+	payload, err := ReadEnvelopeFile(path, EnvelopeModel)
 	if err != nil {
-		return nil, fmt.Errorf("nn: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	return Load(f)
+	return Load(bytes.NewReader(payload))
+}
+
+// RestoreWeights copies parameter values from a Save blob into an
+// existing model of the same architecture, in place. Unlike Load it
+// never re-points the Param tensors, so trainer replicas that share
+// parameter storage with the master keep seeing the restored values —
+// the property checkpoint recovery relies on mid-training.
+func RestoreWeights(m *Model, blob []byte) error {
+	var b modelBlob
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&b); err != nil {
+		return fmt.Errorf("nn: decoding weight blob: %w", err)
+	}
+	params := m.Params()
+	if len(params) != len(b.Weights) {
+		return fmt.Errorf("nn: weight count mismatch: model has %d, blob has %d",
+			len(params), len(b.Weights))
+	}
+	for i, p := range params {
+		if p.Value.Size() != len(b.Weights[i]) {
+			return fmt.Errorf("nn: weight %d size mismatch: %d vs %d",
+				i, p.Value.Size(), len(b.Weights[i]))
+		}
+	}
+	for i, p := range params {
+		copy(p.Value.Data(), b.Weights[i])
+		p.Grad.Zero()
+		p.Frozen = b.Frozen[i]
+	}
+	return nil
 }
 
 // Clone deep-copies a model (independent weights), used by transfer

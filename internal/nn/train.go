@@ -1,12 +1,22 @@
 package nn
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
+	"repro/internal/robust"
 	"repro/internal/tensor"
 )
+
+// ErrNonFinite reports a divergent training step: a NaN/Inf batch loss,
+// a non-finite gradient, or (when MaxGradNorm is set) an exploding
+// gradient. The offending optimiser step is never applied, so model
+// weights stay finite; Run turns repeated occurrences into ErrDiverged.
+var ErrNonFinite = errors.New("nn: non-finite loss or gradient")
 
 // Sample is one training example: one input tensor per tower plus a
 // class label.
@@ -27,6 +37,21 @@ type Trainer struct {
 	Workers   int // <=0 means GOMAXPROCS
 	Rng       *rand.Rand
 
+	// Seed is the base seed; each epoch's shuffle derives its own RNG
+	// from Seed+Epoch so a trainer restored from a checkpoint replays
+	// exactly the batch order the original run would have used.
+	Seed int64
+	// Epoch counts completed epochs. TrainEpoch increments it on
+	// success; checkpoint restore rewinds it.
+	Epoch int
+	// MaxGradNorm, when > 0, rejects batches whose summed gradient L2
+	// norm exceeds it (exploding gradients) with ErrNonFinite.
+	// Non-finite losses and gradients are always rejected.
+	MaxGradNorm float64
+	// LossHook, when set, transforms each batch loss before the
+	// divergence check — a test hook for injecting NaNs.
+	LossHook func(loss float64) float64
+
 	replicas []*Model
 }
 
@@ -35,7 +60,8 @@ func NewTrainer(m *Model, opt Optimizer, batchSize int, seed int64) *Trainer {
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	return &Trainer{Model: m, Opt: opt, BatchSize: batchSize, Rng: rand.New(rand.NewSource(seed))}
+	return &Trainer{Model: m, Opt: opt, BatchSize: batchSize, Seed: seed,
+		Rng: rand.New(rand.NewSource(seed))}
 }
 
 func (t *Trainer) workers() int {
@@ -66,39 +92,45 @@ func (t *Trainer) ensureReplicas(n int) {
 }
 
 // trainBatch computes the batch gradient in parallel and applies one
-// optimiser step. It returns the summed loss.
-func (t *Trainer) trainBatch(batch []Sample) float64 {
+// optimiser step. It returns the summed loss. A panic in any worker is
+// recovered into the returned error; a non-finite loss or gradient (or
+// a gradient above MaxGradNorm) returns ErrNonFinite with the step NOT
+// applied, so weights are never poisoned by a divergent batch.
+func (t *Trainer) trainBatch(batch []Sample) (float64, error) {
 	w := t.workers()
+	if w > len(batch) {
+		w = len(batch)
+	}
+	if w < 1 {
+		w = 1
+	}
 	t.ensureReplicas(w)
 	t.Model.ZeroGrads()
 	losses := make([]float64, w)
-	var wg sync.WaitGroup
 	chunk := (len(batch) + w - 1) / w
-	for wi := 0; wi < w; wi++ {
+	if err := robust.Workers(w, func(wi int) error {
 		lo := wi * chunk
 		hi := lo + chunk
 		if hi > len(batch) {
 			hi = len(batch)
 		}
 		if lo >= hi {
-			break
+			return nil
 		}
-		wg.Add(1)
-		go func(wi, lo, hi int) {
-			defer wg.Done()
-			rep := t.replicas[wi]
-			rep.ZeroGrads()
-			sum := 0.0
-			for _, s := range batch[lo:hi] {
-				logits := rep.Forward(s.Inputs, true)
-				loss, grad := CrossEntropyLoss(logits, s.Label)
-				sum += loss
-				rep.Backward(grad)
-			}
-			losses[wi] = sum
-		}(wi, lo, hi)
+		rep := t.replicas[wi]
+		rep.ZeroGrads()
+		sum := 0.0
+		for _, s := range batch[lo:hi] {
+			logits := rep.Forward(s.Inputs, true)
+			loss, grad := CrossEntropyLoss(logits, s.Label)
+			sum += loss
+			rep.Backward(grad)
+		}
+		losses[wi] = sum
+		return nil
+	}); err != nil {
+		return 0, fmt.Errorf("nn: training batch: %w", err)
 	}
-	wg.Wait()
 	// Sum replica gradients into the master parameters.
 	master := t.Model.Params()
 	for wi := 0; wi < w; wi++ {
@@ -107,23 +139,58 @@ func (t *Trainer) trainBatch(batch []Sample) float64 {
 			p.Grad.Add(rp[i].Grad)
 		}
 	}
-	t.Opt.Step(master, len(batch))
 	total := 0.0
 	for _, l := range losses {
 		total += l
 	}
-	return total
+	if t.LossHook != nil {
+		total = t.LossHook(total)
+	}
+	// Divergence gate: refuse to step on garbage.
+	norm := gradNorm(master)
+	if math.IsNaN(total) || math.IsInf(total, 0) || math.IsNaN(norm) || math.IsInf(norm, 0) {
+		return total, fmt.Errorf("%w: batch loss %v, grad norm %v", ErrNonFinite, total, norm)
+	}
+	if t.MaxGradNorm > 0 && norm > t.MaxGradNorm {
+		return total, fmt.Errorf("%w: grad norm %.4g exceeds limit %.4g", ErrNonFinite, norm, t.MaxGradNorm)
+	}
+	t.Opt.Step(master, len(batch))
+	return total, nil
 }
 
-// TrainEpoch shuffles the samples and runs them through minibatch
-// steps, returning the mean per-sample loss.
-func (t *Trainer) TrainEpoch(samples []Sample) float64 {
-	if len(samples) == 0 {
-		return 0
+// gradNorm computes the L2 norm of the full parameter gradient.
+func gradNorm(params []*Param) float64 {
+	sum := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			sum += g * g
+		}
 	}
-	order := t.Rng.Perm(len(samples))
+	return math.Sqrt(sum)
+}
+
+// TrainEpoch runs one epoch with a background context.
+func (t *Trainer) TrainEpoch(samples []Sample) (float64, error) {
+	return t.TrainEpochCtx(context.Background(), samples)
+}
+
+// TrainEpochCtx shuffles the samples and runs them through minibatch
+// steps, returning the mean per-sample loss. Cancellation is honoured
+// at batch boundaries, leaving the model in a consistent (finite)
+// state. The shuffle order depends only on (Seed, Epoch), so a resumed
+// trainer reproduces the interrupted run.
+func (t *Trainer) TrainEpochCtx(ctx context.Context, samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		t.Epoch++
+		return 0, nil
+	}
+	rng := rand.New(rand.NewSource(t.Seed*1_000_003 + int64(t.Epoch) + 1))
+	order := rng.Perm(len(samples))
 	total := 0.0
 	for lo := 0; lo < len(order); lo += t.BatchSize {
+		if err := ctx.Err(); err != nil {
+			return total / float64(len(samples)), err
+		}
 		hi := lo + t.BatchSize
 		if hi > len(order) {
 			hi = len(order)
@@ -132,38 +199,47 @@ func (t *Trainer) TrainEpoch(samples []Sample) float64 {
 		for i, idx := range order[lo:hi] {
 			batch[i] = samples[idx]
 		}
-		total += t.trainBatch(batch)
+		loss, err := t.trainBatch(batch)
+		if err != nil {
+			return total / float64(len(samples)), err
+		}
+		total += loss
 	}
-	return total / float64(len(samples))
+	t.Epoch++
+	return total / float64(len(samples)), nil
 }
 
 // TrainSteps runs exactly n minibatch steps (sampling batches with
 // replacement) and returns the per-step mean losses — the loss curves
-// of Figure 11.
-func (t *Trainer) TrainSteps(samples []Sample, n int) []float64 {
+// of Figure 11. It stops early (returning the losses so far) on worker
+// failure or divergence.
+func (t *Trainer) TrainSteps(samples []Sample, n int) ([]float64, error) {
 	losses := make([]float64, 0, n)
 	for s := 0; s < n; s++ {
 		batch := make([]Sample, 0, t.BatchSize)
 		for i := 0; i < t.BatchSize; i++ {
 			batch = append(batch, samples[t.Rng.Intn(len(samples))])
 		}
-		loss := t.trainBatch(batch)
+		loss, err := t.trainBatch(batch)
+		if err != nil {
+			return losses, err
+		}
 		losses = append(losses, loss/float64(len(batch)))
 	}
-	return losses
+	return losses, nil
 }
 
 // Evaluate returns accuracy and mean loss over the samples, running
 // inference in parallel.
-func (t *Trainer) Evaluate(samples []Sample) (acc, meanLoss float64) {
+func (t *Trainer) Evaluate(samples []Sample) (acc, meanLoss float64, err error) {
 	return EvaluateModel(t.Model, samples, t.Workers)
 }
 
 // EvaluateModel computes accuracy and mean cross-entropy of a model over
-// samples with a parallel worker pool.
-func EvaluateModel(m *Model, samples []Sample, workers int) (acc, meanLoss float64) {
+// samples with a panic-safe parallel worker pool.
+func EvaluateModel(m *Model, samples []Sample, workers int) (acc, meanLoss float64, err error) {
 	if len(samples) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -173,36 +249,33 @@ func EvaluateModel(m *Model, samples []Sample, workers int) (acc, meanLoss float
 	}
 	hits := make([]int, workers)
 	losses := make([]float64, workers)
-	var wg sync.WaitGroup
 	chunk := (len(samples) + workers - 1) / workers
-	for wi := 0; wi < workers; wi++ {
+	if err := robust.Workers(workers, func(wi int) error {
 		lo := wi * chunk
 		hi := lo + chunk
 		if hi > len(samples) {
 			hi = len(samples)
 		}
 		if lo >= hi {
-			break
+			return nil
 		}
-		wg.Add(1)
-		go func(wi, lo, hi int) {
-			defer wg.Done()
-			rep := m.Replica()
-			for _, s := range samples[lo:hi] {
-				logits := rep.Forward(s.Inputs, false)
-				loss, _ := CrossEntropyLoss(logits, s.Label)
-				losses[wi] += loss
-				if logits.ArgMax() == s.Label {
-					hits[wi]++
-				}
+		rep := m.Replica()
+		for _, s := range samples[lo:hi] {
+			logits := rep.Forward(s.Inputs, false)
+			loss, _ := CrossEntropyLoss(logits, s.Label)
+			losses[wi] += loss
+			if logits.ArgMax() == s.Label {
+				hits[wi]++
 			}
-		}(wi, lo, hi)
+		}
+		return nil
+	}); err != nil {
+		return 0, 0, fmt.Errorf("nn: evaluating: %w", err)
 	}
-	wg.Wait()
 	h, l := 0, 0.0
 	for wi := 0; wi < workers; wi++ {
 		h += hits[wi]
 		l += losses[wi]
 	}
-	return float64(h) / float64(len(samples)), l / float64(len(samples))
+	return float64(h) / float64(len(samples)), l / float64(len(samples)), nil
 }

@@ -63,6 +63,15 @@ type Config struct {
 	Epochs    int
 	Workers   int // data-parallel training workers (<=0: GOMAXPROCS)
 	Seed      int64
+
+	// Fault-tolerance policy (see nn.RunOpts). A divergent epoch — NaN
+	// or Inf loss, non-finite gradient, or (when MaxGradNorm > 0) an
+	// exploding gradient — rolls training back to the last good epoch
+	// and retries with the learning rate scaled by LRBackoff, up to
+	// MaxRetries consecutive times before surfacing nn.ErrDiverged.
+	MaxRetries  int     // consecutive divergence recoveries (<=0: 3)
+	LRBackoff   float64 // LR scale per recovery (outside (0,1): 0.5)
+	MaxGradNorm float64 // exploding-gradient threshold (0: disabled)
 }
 
 // Validate reports configuration errors.
@@ -105,6 +114,8 @@ func DefaultConfig(kind represent.Kind, formats []sparse.Format) Config {
 		BatchSize:    32,
 		Epochs:       30,
 		Seed:         1,
+		MaxRetries:   3,
+		LRBackoff:    0.5,
 	}
 }
 

@@ -1,16 +1,38 @@
 package selector
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/represent"
+	"repro/internal/robust"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
+
+// Typed inference errors; Predict callers (and PredictWithFallback's
+// recorded reasons) match on them with errors.Is.
+var (
+	// ErrNoModel reports inference against a nil selector or a selector
+	// without a loaded model (e.g. after a failed LoadFile).
+	ErrNoModel = errors.New("selector: no model loaded")
+	// ErrBadInput reports a nil, empty or degenerate input matrix.
+	ErrBadInput = errors.New("selector: invalid input matrix")
+	// ErrBadOutput reports non-finite model probabilities — the symptom
+	// of weights poisoned before divergence guards existed, or of a
+	// corrupt-but-decodable artifact.
+	ErrBadOutput = errors.New("selector: model produced non-finite output")
+)
+
+// FallbackFormat is the always-safe choice when prediction is not
+// possible: CSR, the paper's always-CSR baseline. Every platform's
+// format set includes it and every kernel path supports it.
+const FallbackFormat = sparse.FormatCSR
 
 // Selector is a trained (or trainable) CNN format selector.
 type Selector struct {
@@ -49,19 +71,92 @@ func stackChannels(chans []*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// validateInput rejects matrices that cannot be normalised or whose
+// "prediction" would be meaningless.
+func validateInput(m *sparse.COO) error {
+	if m == nil {
+		return fmt.Errorf("%w: nil matrix", ErrBadInput)
+	}
+	r, c := m.Dims()
+	if r <= 0 || c <= 0 {
+		return fmt.Errorf("%w: degenerate dimensions %dx%d", ErrBadInput, r, c)
+	}
+	if m.NNZ() == 0 {
+		return fmt.Errorf("%w: matrix has no nonzeros", ErrBadInput)
+	}
+	return nil
+}
+
 // Predict returns the predicted best format and per-format
-// probabilities for a matrix (inference, Figure 3 right half).
-func (s *Selector) Predict(m *sparse.COO) (sparse.Format, map[sparse.Format]float64, error) {
+// probabilities for a matrix (inference, Figure 3 right half). The
+// input is validated, a panic anywhere in representation or inference
+// is recovered into the returned error, and non-finite model output is
+// rejected — a hardened service entry point.
+func (s *Selector) Predict(m *sparse.COO) (f sparse.Format, probs map[sparse.Format]float64, err error) {
+	if s == nil || s.Model == nil {
+		return 0, nil, ErrNoModel
+	}
+	if err := validateInput(m); err != nil {
+		return 0, nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			f, probs, err = 0, nil, fmt.Errorf("selector: inference panic: %v", r)
+		}
+	}()
 	inputs, err := s.inputsFor(m)
 	if err != nil {
 		return 0, nil, err
 	}
-	cls, probs := s.Model.Predict(inputs)
-	out := make(map[sparse.Format]float64, len(probs))
-	for i, p := range probs {
+	cls, ps := s.Model.Predict(inputs)
+	out := make(map[sparse.Format]float64, len(ps))
+	for i, p := range ps {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return 0, nil, ErrBadOutput
+		}
+		if i >= len(s.Cfg.Formats) {
+			return 0, nil, fmt.Errorf("%w: %d outputs for %d formats", ErrBadOutput, len(ps), len(s.Cfg.Formats))
+		}
 		out[s.Cfg.Formats[i]] = p
 	}
+	if cls < 0 || cls >= len(s.Cfg.Formats) {
+		return 0, nil, fmt.Errorf("%w: class %d out of range", ErrBadOutput, cls)
+	}
 	return s.Cfg.Formats[cls], out, nil
+}
+
+// Prediction is the result of PredictWithFallback: either the model's
+// choice, or FallbackFormat with the failure recorded in Reason.
+type Prediction struct {
+	Format   sparse.Format
+	Probs    map[sparse.Format]float64 // nil when FellBack
+	FellBack bool
+	Reason   error // non-nil iff FellBack
+}
+
+// FallbackPrediction builds the degraded result directly — used when
+// there is no selector to ask (e.g. the model file failed to load).
+func FallbackPrediction(reason error) Prediction {
+	if reason == nil {
+		reason = ErrNoModel
+	}
+	return Prediction{Format: FallbackFormat, FellBack: true, Reason: reason}
+}
+
+// PredictWithFallback never fails: when representation or inference
+// breaks (or the receiver is nil — a failed model load), it returns the
+// paper's always-CSR baseline with the reason recorded, so a bad deploy
+// artifact degrades the service to baseline quality instead of taking
+// it down.
+func (s *Selector) PredictWithFallback(m *sparse.COO) Prediction {
+	if s == nil || s.Model == nil {
+		return FallbackPrediction(ErrNoModel)
+	}
+	f, probs, err := s.Predict(m)
+	if err != nil {
+		return FallbackPrediction(err)
+	}
+	return Prediction{Format: f, Probs: probs}
 }
 
 // classOf maps a dataset label to the selector's class index.
@@ -75,7 +170,8 @@ func (s *Selector) classOf(f sparse.Format) (int, error) {
 }
 
 // Samples normalises the given dataset records (all of them when idx is
-// nil) into nn training samples, in parallel.
+// nil) into nn training samples, in parallel. Worker panics are
+// recovered and reported as errors alongside ordinary failures.
 func (s *Selector) Samples(d *dataset.Dataset, idx []int) ([]nn.Sample, error) {
 	if idx == nil {
 		idx = make([]int, len(d.Records))
@@ -94,41 +190,27 @@ func (s *Selector) Samples(d *dataset.Dataset, idx []int) ([]nn.Sample, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
 	chunk := (len(idx) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	if err := robust.Workers(workers, func(w int) error {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > len(idx) {
 			hi = len(idx)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for k := lo; k < hi; k++ {
-				r := &d.Records[idx[k]]
-				inputs, err := s.inputsFor(r.Matrix())
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				label, err := s.classOf(r.Label)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				samples[k] = nn.Sample{Inputs: inputs, Label: label}
+		for k := lo; k < hi; k++ {
+			r := &d.Records[idx[k]]
+			inputs, err := s.inputsFor(r.Matrix())
+			if err != nil {
+				return err
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			label, err := s.classOf(r.Label)
+			if err != nil {
+				return err
+			}
+			samples[k] = nn.Sample{Inputs: inputs, Label: label}
 		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("selector: building samples: %w", err)
 	}
 	return samples, nil
 }
@@ -136,37 +218,69 @@ func (s *Selector) Samples(d *dataset.Dataset, idx []int) ([]nn.Sample, error) {
 // Train fits the selector on the given dataset records (step 4 of
 // Figure 3). It returns the per-epoch training losses.
 func (s *Selector) Train(d *dataset.Dataset, idx []int) ([]float64, error) {
+	return s.TrainCtx(context.Background(), d, idx)
+}
+
+// TrainCtx is Train with cancellation: an interrupted run returns the
+// per-epoch losses completed so far along with the context error.
+func (s *Selector) TrainCtx(ctx context.Context, d *dataset.Dataset, idx []int) ([]float64, error) {
 	samples, err := s.Samples(d, idx)
 	if err != nil {
 		return nil, err
 	}
-	return s.TrainSamples(samples), nil
+	return s.TrainSamplesCtx(ctx, samples, nil, nil)
 }
 
 // TrainSamples fits the selector on pre-built samples, dropping the
 // learning rate 5x after the LRDecayAt fraction of the epochs.
-func (s *Selector) TrainSamples(samples []nn.Sample) []float64 {
+func (s *Selector) TrainSamples(samples []nn.Sample) ([]float64, error) {
+	return s.TrainSamplesCtx(context.Background(), samples, nil, nil)
+}
+
+// TrainSamplesCtx is the fault-tolerant training entry point: it runs
+// the nn.Trainer recovery loop (divergent epochs roll back to the last
+// good state with a backed-off learning rate; see Config.MaxRetries and
+// Config.LRBackoff), snapshots into cp when provided, and — given a
+// checkpoint previously loaded with LoadCheckpoint — resumes exactly
+// where the interrupted run stopped.
+func (s *Selector) TrainSamplesCtx(ctx context.Context, samples []nn.Sample, cp *nn.Checkpointer, resume *nn.Checkpoint) ([]float64, error) {
 	opt := nn.NewAdam(s.Cfg.LearningRate)
 	opt.WeightDecay = s.Cfg.WeightDecay
 	tr := nn.NewTrainer(s.Model, opt, s.Cfg.BatchSize, s.Cfg.Seed+101)
 	tr.Workers = s.Cfg.Workers
+	tr.MaxGradNorm = s.Cfg.MaxGradNorm
+	if resume != nil {
+		if err := tr.RestoreCheckpoint(resume); err != nil {
+			return nil, fmt.Errorf("selector: restoring checkpoint: %w", err)
+		}
+	}
 	decayEpoch := s.Cfg.Epochs + 1
 	if s.Cfg.LRDecayAt > 0 && s.Cfg.LRDecayAt < 1 {
 		decayEpoch = int(float64(s.Cfg.Epochs) * s.Cfg.LRDecayAt)
 	}
-	losses := make([]float64, 0, s.Cfg.Epochs)
-	for e := 0; e < s.Cfg.Epochs; e++ {
-		if e == decayEpoch {
-			opt.LR = s.Cfg.LearningRate * 0.2
-		}
-		losses = append(losses, tr.TrainEpoch(samples))
+	extra, err := s.checkpointExtra()
+	if err != nil {
+		return nil, err
 	}
-	return losses
+	decayed := resume != nil && resume.Epoch >= decayEpoch
+	return tr.Run(ctx, samples, nn.RunOpts{
+		Epochs:       s.Cfg.Epochs,
+		Checkpointer: cp,
+		Extra:        extra,
+		MaxRetries:   s.Cfg.MaxRetries,
+		LRBackoff:    s.Cfg.LRBackoff,
+		PreEpoch: func(e int) {
+			if !decayed && e >= decayEpoch {
+				decayed = true
+				opt.LR = s.Cfg.LearningRate * 0.2
+			}
+		},
+	})
 }
 
 // TrainSteps runs exactly n minibatch steps and returns per-step losses
 // — the Figure 11 convergence curves.
-func (s *Selector) TrainSteps(samples []nn.Sample, n int) []float64 {
+func (s *Selector) TrainSteps(samples []nn.Sample, n int) ([]float64, error) {
 	return s.newTrainer().TrainSteps(samples, n)
 }
 
@@ -183,21 +297,25 @@ func (s *Selector) Evaluate(d *dataset.Dataset, idx []int) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.EvaluateSamples(samples), nil
+	return s.EvaluateSamples(samples)
 }
 
 // EvaluateSamples computes metrics over pre-built samples.
-func (s *Selector) EvaluateSamples(samples []nn.Sample) *Metrics {
+func (s *Selector) EvaluateSamples(samples []nn.Sample) (*Metrics, error) {
 	m := NewMetrics(s.Cfg.Formats)
-	preds := predictAll(s.Model, samples, s.Cfg.Workers)
+	preds, err := predictAll(s.Model, samples, s.Cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	for i, sm := range samples {
 		m.Add(sm.Label, preds[i])
 	}
-	return m
+	return m, nil
 }
 
-// predictAll runs inference over samples with a parallel worker pool.
-func predictAll(model *nn.Model, samples []nn.Sample, workers int) []int {
+// predictAll runs inference over samples with a panic-safe parallel
+// worker pool.
+func predictAll(model *nn.Model, samples []nn.Sample, workers int) ([]int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -208,28 +326,25 @@ func predictAll(model *nn.Model, samples []nn.Sample, workers int) []int {
 		workers = 1
 	}
 	preds := make([]int, len(samples))
-	var wg sync.WaitGroup
 	chunk := (len(samples) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	if err := robust.Workers(workers, func(w int) error {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > len(samples) {
 			hi = len(samples)
 		}
 		if lo >= hi {
-			break
+			return nil
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rep := model.Replica()
-			for i := lo; i < hi; i++ {
-				cls, _ := rep.Predict(samples[i].Inputs)
-				preds[i] = cls
-			}
-		}(lo, hi)
+		rep := model.Replica()
+		for i := lo; i < hi; i++ {
+			cls, _ := rep.Predict(samples[i].Inputs)
+			preds[i] = cls
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("selector: predicting: %w", err)
 	}
-	wg.Wait()
-	return preds
+	return preds, nil
 }
 
 // Summary renders the architecture (the Figure 10 diagram as text).

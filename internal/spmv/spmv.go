@@ -61,13 +61,13 @@ func Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
 	k.Mul(y, m, x, workers)
 }
 
-// resolveWorkers clamps the worker count to [1, GOMAXPROCS] with 0 (or
-// negative) meaning GOMAXPROCS, and never more workers than units of
-// work.
+// resolveWorkers resolves a requested worker count: 0 (or negative)
+// means GOMAXPROCS; an explicit positive request is honoured as-is
+// (oversubscribing GOMAXPROCS is the caller's choice). Either way the
+// count never exceeds the units of work and is at least 1.
 func resolveWorkers(workers, units int) int {
-	max := runtime.GOMAXPROCS(0)
-	if workers <= 0 || workers > max {
-		workers = max
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > units {
 		workers = units

@@ -188,15 +188,30 @@ func TestSingleRowManyWorkers(t *testing.T) {
 
 func TestResolveWorkers(t *testing.T) {
 	max := runtime.GOMAXPROCS(0)
+	// Defaulted requests (<=0) take GOMAXPROCS, clamped by units.
 	if got := resolveWorkers(0, 100); got != min(max, 100) {
-		t.Fatalf("resolveWorkers(0,100) = %d", got)
+		t.Fatalf("resolveWorkers(0,100) = %d, want %d", got, min(max, 100))
 	}
-	if got := resolveWorkers(1000, 100); got > max {
-		t.Fatalf("resolveWorkers did not clamp to GOMAXPROCS: %d", got)
+	if got := resolveWorkers(-3, 100); got != min(max, 100) {
+		t.Fatalf("resolveWorkers(-3,100) = %d, want %d", got, min(max, 100))
 	}
+	if got := resolveWorkers(0, 1); got != 1 {
+		t.Fatalf("resolveWorkers(0,1) = %d, want 1", got)
+	}
+	// Explicit positive requests are honoured regardless of GOMAXPROCS —
+	// oversubscription is the caller's choice. These cases are
+	// deterministic whatever GOMAXPROCS is, including 1.
 	if got := resolveWorkers(4, 2); got != 2 {
 		t.Fatalf("resolveWorkers(4,2) = %d, want 2", got)
 	}
+	if got, want := resolveWorkers(max+10, max+20), max+10; got != want {
+		t.Fatalf("resolveWorkers(%d,%d) = %d, want %d (explicit request clamped)", max+10, max+20, got, want)
+	}
+	// The units clamp still bounds explicit requests.
+	if got := resolveWorkers(1000, 100); got != 100 {
+		t.Fatalf("resolveWorkers(1000,100) = %d, want 100", got)
+	}
+	// Degenerate unit counts resolve to a single worker.
 	if got := resolveWorkers(4, 0); got != 1 {
 		t.Fatalf("resolveWorkers(4,0) = %d, want 1", got)
 	}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI gate: build everything, vet, then run the full test suite with the
+# race detector. SHORT=1 narrows the race run to the internal packages
+# (skipping the slow experiment reproductions at the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The experiment reproductions take ~2 minutes without the race
+# detector and several times that with it; the default 10m per-package
+# timeout is too tight.
+go build ./...
+go vet ./...
+if [[ "${SHORT:-0}" == "1" ]]; then
+    go test -race -timeout 45m ./internal/...
+else
+    go test -race -timeout 45m ./...
+fi
