@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check smoke bench
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: build, vet, and the full test suite under the
-# race detector (worker pools, the imported-matrix registry and the
-# checkpointer are all concurrency-sensitive).
+# check is the CI gate: build, vet, the serve smoke test, and the full
+# test suite under the race detector (worker pools, the imported-matrix
+# registry, the checkpointer and the serving tier are all
+# concurrency-sensitive).
 check:
 	./scripts/check.sh
+
+# smoke runs only the end-to-end inference-service smoke test: train a
+# tiny model, boot cmd/serve on a free port, predict over HTTP, check
+# caching, hot reload and graceful drain.
+smoke:
+	$(GO) run ./scripts/servesmoke
 
 bench:
 	$(GO) test -bench=. -benchtime=200ms -run=^$$ .

@@ -2,20 +2,31 @@
 // MatrixMarket file with a trained model — the artifact's
 // `spmv_model.py predict data/example.mtx` mode.
 //
-// With -fallback the command never fails on a bad model or matrix: it
-// degrades to CSR (the paper's baseline format) and reports why, which
-// is the behaviour a production service wants on a corrupt deploy
-// artifact.
+// With -fallback the command never fails outright on a bad model or
+// matrix: it degrades to CSR (the paper's baseline format) and reports
+// why. A fallback forced by a model that failed to load still exits
+// with status 1 — stdout carries the usable degraded answer while the
+// exit code keeps a missing or corrupt deploy artifact from
+// masquerading as success in scripts.
+//
+// With -server the prediction is made by a running `serve` instance
+// instead of loading a model locally — the thin-client mode for hosts
+// that share one warm model server.
 //
 //	predict -model model.gob matrix.mtx
 //	predict -model model.gob -fallback matrix.mtx
+//	predict -server http://127.0.0.1:8080 matrix.mtx
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/selector"
@@ -25,10 +36,14 @@ import (
 func main() {
 	modelPath := flag.String("model", "model.gob", "trained model file")
 	fallback := flag.Bool("fallback", false, "degrade to CSR instead of failing on load/predict errors")
+	server := flag.String("server", "", "base URL of a running serve instance (client mode; -model is ignored)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: predict -model model.gob [-fallback] matrix.mtx")
+		fmt.Fprintln(os.Stderr, "usage: predict [-model model.gob] [-fallback] [-server URL] matrix.mtx")
 		os.Exit(2)
+	}
+	if *server != "" {
+		os.Exit(predictRemote(*server, flag.Arg(0)))
 	}
 	s, err := selector.LoadFile(*modelPath)
 	if err != nil && !*fallback {
@@ -42,6 +57,12 @@ func main() {
 			fmt.Printf("  (fallback: %v)\n", p.Reason)
 		}
 		printProbs(p.Probs)
+		if err != nil {
+			// The degraded answer above is still usable, but a model
+			// that failed to load is an operational failure; surface it
+			// in the exit code instead of hiding it behind the baseline.
+			os.Exit(1)
+		}
 		return
 	}
 	format, probs, err := core.Predict(s, flag.Arg(0))
@@ -65,6 +86,69 @@ func predictFallback(s *selector.Selector, loadErr error, mtxPath string) select
 		return selector.FallbackPrediction(err)
 	}
 	return s.PredictWithFallback(m)
+}
+
+// serveResponse mirrors the serve package's /v1/predict answer.
+type serveResponse struct {
+	Format          string             `json:"format"`
+	Probs           map[string]float64 `json:"probs"`
+	FellBack        bool               `json:"fell_back"`
+	Reason          string             `json:"reason"`
+	Cached          bool               `json:"cached"`
+	ModelGeneration uint64             `json:"model_generation"`
+}
+
+// predictRemote posts the Matrix Market file to a serve instance and
+// prints the answer in the same shape as local mode. It returns the
+// process exit code: 0 on a model-backed answer, 1 on transport or
+// server errors or a server-side fallback.
+func predictRemote(base, mtxPath string) int {
+	body, err := os.ReadFile(mtxPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		return 1
+	}
+	url := strings.TrimRight(base, "/") + "/v1/predict"
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Post(url, "text/matrix-market", strings.NewReader(string(body)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		fmt.Fprintf(os.Stderr, "predict: server returned %s: %s\n", resp.Status, e.Error)
+		return 1
+	}
+	var r serveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		fmt.Fprintln(os.Stderr, "predict: decoding server response:", err)
+		return 1
+	}
+	fmt.Println(r.Format)
+	if r.FellBack {
+		fmt.Printf("  (fallback: %s)\n", r.Reason)
+	}
+	if r.Cached {
+		fmt.Printf("  (cached, model generation %d)\n", r.ModelGeneration)
+	}
+	probs := make(map[sparse.Format]float64, len(r.Probs))
+	for name, p := range r.Probs {
+		f, err := sparse.ParseFormat(name)
+		if err != nil {
+			continue
+		}
+		probs[f] = p
+	}
+	printProbs(probs)
+	if r.FellBack {
+		return 1
+	}
+	return 0
 }
 
 func printProbs(probs map[sparse.Format]float64) {

@@ -1,0 +1,97 @@
+// Command serve runs the online format-selection service: a
+// long-running HTTP server that answers POST /v1/predict with the
+// trained CNN's format choice for a posted sparse matrix.
+//
+//	serve -model model.gob -addr 127.0.0.1:8080
+//
+// Endpoints: POST /v1/predict (JSON COO triplets or a raw Matrix
+// Market body), GET /healthz, GET /readyz, GET /metrics (Prometheus
+// text format).
+//
+// Operations: SIGHUP hot-reloads the model file, as does overwriting
+// it in place when -watch is enabled (the default; the new artifact is
+// validated before the swap, so a corrupt file is rejected and the old
+// model keeps serving). SIGINT/SIGTERM drain gracefully: readiness
+// flips to 503, in-flight requests finish within -drain-timeout, and a
+// final metrics snapshot is logged.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	model := flag.String("model", "model.gob", "trained model file (selector envelope)")
+	batch := flag.Int("batch", 16, "max prediction jobs per micro-batch")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long a batch waits to fill")
+	workers := flag.Int("workers", 0, "prediction worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 1024, "prediction cache entries (0 disables)")
+	watch := flag.Duration("watch", 2*time.Second, "model file watch interval (0 disables hot-reload watching)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	s, err := serve.New(serve.Config{
+		ModelPath:   *model,
+		BatchMax:    *batch,
+		BatchWindow: *batchWindow,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		Log:         os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *watch > 0 {
+		go s.WatchModel(ctx, *watch)
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			s.Reload() // rejection is logged; old model keeps serving
+		}
+	}()
+
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-term
+		fmt.Fprintln(os.Stderr, "serve: draining...")
+		sctx, scancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer scancel()
+		done <- s.Shutdown(sctx)
+	}()
+
+	// The listening line goes to stdout so scripts can scrape the bound
+	// address when -addr uses port 0.
+	err = s.ListenAndServe(*addr, func(a net.Addr) {
+		fmt.Printf("serve: listening on http://%s\n", a)
+	})
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+}

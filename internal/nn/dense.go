@@ -221,9 +221,16 @@ func (l *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", l.Rate) }
 // OutShape is the input shape.
 func (l *Dropout) OutShape(in []int) []int { return in }
 
-// Forward applies inverted dropout when training.
+// Forward applies inverted dropout when training. The inference path
+// (train=false) must not touch any layer state: Predict is documented
+// as safe for concurrent callers sharing one model, and even a
+// same-value write to lastScale here is a data race under that
+// contract.
 func (l *Dropout) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
-	if !train || l.Rate <= 0 {
+	if !train {
+		return in
+	}
+	if l.Rate <= 0 {
 		l.lastScale = nil
 		return in
 	}

@@ -1,0 +1,93 @@
+package robust
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 8, nil)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if panics := p.Close(); panics != 0 {
+		t.Fatalf("unexpected panics: %d", panics)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestPoolContainsPanics(t *testing.T) {
+	var reported atomic.Int64
+	p := NewPool(2, 0, func(pe *PanicError) {
+		if pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Errorf("bad panic report: %+v", pe)
+		}
+		reported.Add(1)
+	})
+	var ok atomic.Int64
+	for i := 0; i < 20; i++ {
+		i := i
+		if err := p.Submit(func() {
+			if i%4 == 0 {
+				panic("boom")
+			}
+			ok.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	panics := p.Close()
+	if panics != 5 || reported.Load() != 5 {
+		t.Fatalf("panics=%d reported=%d, want 5/5", panics, reported.Load())
+	}
+	if ok.Load() != 15 {
+		t.Fatalf("workers died: only %d healthy tasks ran, want 15", ok.Load())
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(1, 0, nil)
+	p.Close()
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("got %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolCloseDrains submits slow tasks and checks Close waits for all
+// of them, racing Submit and Close from separate goroutines.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(3, 16, nil)
+	var done atomic.Int64
+	var submitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := p.Submit(func() {
+					time.Sleep(time.Microsecond)
+					done.Add(1)
+				})
+				if err == ErrPoolClosed {
+					return
+				}
+				submitted.Add(1)
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	p.Close()
+	wg.Wait()
+	if done.Load() != submitted.Load() {
+		t.Fatalf("Close returned with %d/%d tasks done", done.Load(), submitted.Load())
+	}
+}

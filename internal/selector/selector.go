@@ -92,6 +92,11 @@ func validateInput(m *sparse.COO) error {
 // input is validated, a panic anywhere in representation or inference
 // is recovered into the returned error, and non-finite model output is
 // rejected — a hardened service entry point.
+//
+// Predict is safe for concurrent callers sharing one Selector: the
+// inference path reads model parameters but never writes layer or
+// model state (enforced by TestPredictConcurrent under -race).
+// Training and inference must not overlap on the same Selector.
 func (s *Selector) Predict(m *sparse.COO) (f sparse.Format, probs map[sparse.Format]float64, err error) {
 	if s == nil || s.Model == nil {
 		return 0, nil, ErrNoModel

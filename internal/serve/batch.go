@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+// job is one prediction request in flight between handler and worker.
+type job struct {
+	m    *sparse.COO
+	fp   uint64
+	done chan jobResult // buffered(1): workers never block on a gone client
+}
+
+type jobResult struct {
+	pred selector.Prediction
+	gen  uint64
+	err  error
+}
+
+var errShutdown = errors.New("serve: shutting down")
+
+// dispatch is the micro-batching loop: it blocks for the first job,
+// then coalesces more until the batch is full (BatchMax) or the batch
+// window closes, and hands the batch to the worker pool. Batching
+// amortises model-pointer loads and per-request bookkeeping, and gives
+// the pool scheduler units big enough to matter under heavy
+// concurrency while the window keeps the added latency bounded.
+func (s *Server) dispatch() {
+	defer s.dispWG.Done()
+	for {
+		var first *job
+		select {
+		case first = <-s.jobs:
+		case <-s.quit:
+			s.drainJobs()
+			return
+		}
+		batch := []*job{first}
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case j := <-s.jobs:
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			case <-s.quit:
+				break collect
+			}
+		}
+		timer.Stop()
+		b := batch
+		if err := s.pool.Submit(func() { s.runBatch(b) }); err != nil {
+			answerAll(b, jobResult{err: errShutdown})
+		}
+	}
+}
+
+// drainJobs answers any jobs still queued at shutdown so no handler
+// goroutine is left waiting. (Shutdown waits for handlers before
+// stopping the dispatcher, so this is normally empty.)
+func (s *Server) drainJobs() {
+	for {
+		select {
+		case j := <-s.jobs:
+			j.done <- jobResult{err: errShutdown}
+		default:
+			return
+		}
+	}
+}
+
+// runBatch executes one micro-batch on a pool worker. Every job is
+// guaranteed an answer: PredictWithFallback cannot fail, and the
+// deferred sweep covers a panic escaping between jobs (the pool
+// contains the panic; the sweep keeps handlers from hanging).
+func (s *Server) runBatch(batch []*job) {
+	answered := 0
+	defer func() {
+		if answered < len(batch) {
+			answerAll(batch[answered:], jobResult{err: errShutdown})
+		}
+	}()
+
+	if s.testHookPreBatch != nil {
+		s.testHookPreBatch()
+	}
+	sel := s.model.Load()
+	gen := s.gen.Load()
+	s.met.batches.Inc()
+	s.met.batchJobs.Add(uint64(len(batch)))
+	s.met.batchSize.Observe(float64(len(batch)))
+
+	for _, j := range batch {
+		pred := sel.PredictWithFallback(j.m)
+		if pred.FellBack {
+			s.met.fallbacks.With(reasonLabel(pred.Reason)).Inc()
+		} else {
+			s.met.predictions.With(formatLabel(pred.Format)).Inc()
+			// Only model-backed answers are cached: a fallback caused by
+			// a transient condition must not be replayed from cache
+			// after the condition clears.
+			s.cache.Add(j.fp, pred, gen)
+			s.met.cacheSize.Set(uint64(s.cache.Len()))
+		}
+		j.done <- jobResult{pred: pred, gen: gen}
+		answered++
+	}
+}
+
+func answerAll(jobs []*job, res jobResult) {
+	for _, j := range jobs {
+		j.done <- res
+	}
+}

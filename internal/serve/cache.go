@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/selector"
+)
+
+// predictionCache is a fixed-capacity LRU map from sparsity-pattern
+// fingerprint to a served prediction. Keys are sparse.Fingerprint
+// values: position-only hashes, so any matrix with an identical pattern
+// reuses the cached result and skips the CNN forward pass entirely.
+//
+// Entries carry the model generation that produced them; Reset is
+// called on every hot reload so a new model never serves a
+// predecessor's answers.
+type predictionCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[uint64]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  uint64
+	pred selector.Prediction
+	gen  uint64
+}
+
+// newPredictionCache builds a cache; cap <= 0 disables caching (every
+// Get misses, Add is a no-op).
+func newPredictionCache(capacity int) *predictionCache {
+	return &predictionCache{cap: capacity, ll: list.New(), m: map[uint64]*list.Element{}}
+}
+
+// Get returns the cached prediction and its model generation, marking
+// the entry most recently used.
+func (c *predictionCache) Get(key uint64) (selector.Prediction, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return selector.Prediction{}, 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.pred, e.gen, true
+}
+
+// Add stores a prediction, evicting the least recently used entry when
+// full. The stored Probs map is shared with every future hit, so
+// callers must treat cached predictions as immutable.
+func (c *predictionCache) Add(key uint64, pred selector.Prediction, gen uint64) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.pred, e.gen = pred, gen
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, pred: pred, gen: gen})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Reset drops every entry — called when a new model generation goes
+// live.
+func (c *predictionCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = map[uint64]*list.Element{}
+}
+
+// Len returns the current entry count.
+func (c *predictionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hits, misses and evictions.
+func (c *predictionCache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

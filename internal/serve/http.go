@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+// predictRequest is the JSON request body for POST /v1/predict:
+// explicit COO triplets. Alternatively the body may be a raw Matrix
+// Market document (Content-Type text/matrix-market, or any body whose
+// first bytes are the %%MatrixMarket banner).
+type predictRequest struct {
+	Rows    int          `json:"rows"`
+	Cols    int          `json:"cols"`
+	Entries [][3]float64 `json:"entries"` // [row, col, value]
+}
+
+// response is the JSON answer for POST /v1/predict.
+type response struct {
+	Format          string             `json:"format"`
+	Probs           map[string]float64 `json:"probs,omitempty"`
+	FellBack        bool               `json:"fell_back"`
+	Reason          string             `json:"reason,omitempty"`
+	Cached          bool               `json:"cached"`
+	ModelGeneration uint64             `json:"model_generation"`
+}
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func makeResponse(p selector.Prediction, gen uint64, cached bool) response {
+	r := response{
+		Format:          p.Format.String(),
+		FellBack:        p.FellBack,
+		Cached:          cached,
+		ModelGeneration: gen,
+	}
+	if p.Reason != nil {
+		r.Reason = p.Reason.Error()
+	}
+	if p.Probs != nil {
+		r.Probs = make(map[string]float64, len(p.Probs))
+		for f, v := range p.Probs {
+			r.Probs[f.String()] = v
+		}
+	}
+	return r
+}
+
+// Handler returns the server's HTTP routes. It is exposed separately
+// from Serve so tests (and embedders) can mount the service on any
+// listener or mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := http.StatusOK
+	defer func() { s.met.request("predict", code, start) }()
+
+	if r.Method != http.MethodPost {
+		code = http.StatusMethodNotAllowed
+		writeJSON(w, code, errorResponse{Error: "POST only"})
+		return
+	}
+	// The draining check and the inflight registration are what make
+	// graceful shutdown sound: Shutdown flips draining first, then
+	// waits for the inflight group, so every accepted request drains
+	// and every later one gets an immediate 503.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	if s.draining.Load() {
+		code = http.StatusServiceUnavailable
+		writeJSON(w, code, errorResponse{Error: "server is draining"})
+		return
+	}
+
+	m, err := s.parseMatrix(r)
+	if err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+
+	resp, err := s.predictOne(r.Context(), m)
+	switch {
+	case err == nil:
+		writeJSON(w, code, resp)
+	case errors.Is(err, errOverloaded), errors.Is(err, errShutdown):
+		code = http.StatusServiceUnavailable
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+	default: // client went away or drain deadline hit mid-wait
+		code = http.StatusServiceUnavailable
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+	}
+}
+
+// parseMatrix decodes the request body as JSON triplets or a Matrix
+// Market document, bounded by MaxBodyBytes.
+func (s *Server) parseMatrix(r *http.Request) (*sparse.COO, error) {
+	body := io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	if int64(len(data)) > s.cfg.MaxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
+	}
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "matrix-market") || bytes.HasPrefix(bytes.TrimSpace(data), []byte("%%MatrixMarket")) {
+		m, err := sparse.ReadMatrixMarket(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("parsing Matrix Market body: %w", err)
+		}
+		return m, nil
+	}
+	var req predictRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("parsing JSON body: %w", err)
+	}
+	entries := make([]sparse.Entry, len(req.Entries))
+	for i, e := range req.Entries {
+		r0, c0 := int(e[0]), int(e[1])
+		if float64(r0) != e[0] || float64(c0) != e[1] {
+			return nil, fmt.Errorf("entry %d: non-integer coordinates (%g,%g)", i, e[0], e[1])
+		}
+		entries[i] = sparse.Entry{Row: r0, Col: c0, Val: e[2]}
+	}
+	m, err := sparse.NewCOO(req.Rows, req.Cols, entries)
+	if err != nil {
+		return nil, fmt.Errorf("building matrix: %w", err)
+	}
+	return m, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+	s.met.request("healthz", http.StatusOK, start)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := http.StatusOK
+	msg := "ready\n"
+	if !s.Ready() {
+		code = http.StatusServiceUnavailable
+		msg = "not ready\n"
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	io.WriteString(w, msg)
+	s.met.request("readyz", code, start)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.WriteTo(w)
+	s.met.request("metrics", http.StatusOK, start)
+}
+
+// formatLabel renders the label set for a served prediction.
+func formatLabel(f sparse.Format) string {
+	return fmt.Sprintf("format=%q", f.String())
+}
+
+// reasonLabel classifies a fallback cause into a bounded label set
+// (unbounded label values are a Prometheus cardinality hazard).
+func reasonLabel(err error) string {
+	switch {
+	case errors.Is(err, selector.ErrNoModel):
+		return `reason="no_model"`
+	case errors.Is(err, selector.ErrBadInput):
+		return `reason="bad_input"`
+	case errors.Is(err, selector.ErrBadOutput):
+		return `reason="bad_output"`
+	default:
+		return `reason="other"`
+	}
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is a minimal, dependency-free Prometheus instrumentation
+// layer: atomic counters, gauges and fixed-bucket histograms that
+// render themselves in the text exposition format (version 0.0.4). The
+// set is small and fixed at Server construction, so rendering is a
+// deterministic walk — no reflection, no global registries.
+
+// counter is a monotonically increasing atomic counter.
+type counter struct {
+	v atomic.Uint64
+}
+
+func (c *counter) Inc()          { c.v.Add(1) }
+func (c *counter) Add(n uint64)  { c.v.Add(n) }
+func (c *counter) Value() uint64 { return c.v.Load() }
+
+// gauge is a settable instantaneous value.
+type gauge struct {
+	v atomic.Uint64
+}
+
+func (g *gauge) Set(n uint64)  { g.v.Store(n) }
+func (g *gauge) Value() uint64 { return g.v.Load() }
+
+// labeledCounter is a counter vector over one or two label dimensions,
+// created lazily per label combination.
+type labeledCounter struct {
+	mu sync.Mutex
+	m  map[string]*counter
+}
+
+func newLabeledCounter() *labeledCounter {
+	return &labeledCounter{m: map[string]*counter{}}
+}
+
+// With returns the counter for a rendered label set such as
+// `endpoint="predict",code="200"`.
+func (lc *labeledCounter) With(labels string) *counter {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	c, ok := lc.m[labels]
+	if !ok {
+		c = &counter{}
+		lc.m[labels] = c
+	}
+	return c
+}
+
+// snapshot returns the label sets in sorted order for deterministic
+// rendering.
+func (lc *labeledCounter) snapshot() []struct {
+	Labels string
+	Value  uint64
+} {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make([]struct {
+		Labels string
+		Value  uint64
+	}, 0, len(lc.m))
+	for l, c := range lc.m {
+		out = append(out, struct {
+			Labels string
+			Value  uint64
+		}{l, c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+	return out
+}
+
+// histogram is a fixed-bucket cumulative histogram with an atomic
+// float64 sum (CAS on the bit pattern).
+type histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
+}
+
+// defLatencyBuckets covers sub-millisecond cache hits through
+// multi-second cold predictions on big matrices.
+func defLatencyBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+}
+
+// defBatchBuckets covers micro-batch sizes up to the default cap.
+func defBatchBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64}
+}
+
+// Observe records one sample.
+func (h *histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// write renders the histogram series for a metric name with an optional
+// extra label prefix (e.g. `endpoint="predict"`).
+func (h *histogram) write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, formatBound(b), h.buckets[i].Load())
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count.Load())
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, math.Float64frombits(h.sumBits.Load()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+}
+
+func formatBound(b float64) string {
+	s := fmt.Sprintf("%g", b)
+	return s
+}
+
+// metrics is the server's full instrument set.
+type metrics struct {
+	requests       *labeledCounter       // endpoint, code
+	latency        map[string]*histogram // endpoint -> seconds
+	predictions    *labeledCounter       // format
+	fallbacks      *labeledCounter       // reason class
+	cacheHits      counter
+	cacheMisses    counter
+	cacheEvictions counter
+	cacheSize      gauge
+	batches        counter
+	batchJobs      counter
+	batchSize      *histogram
+	queueRejects   counter
+	reloads        counter
+	reloadFails    counter
+	modelGen       gauge
+	workerPanics   gauge
+	inflight       atomic.Int64
+	started        time.Time
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:    newLabeledCounter(),
+		predictions: newLabeledCounter(),
+		fallbacks:   newLabeledCounter(),
+		latency: map[string]*histogram{
+			"predict": newHistogram(defLatencyBuckets()),
+			"healthz": newHistogram(defLatencyBuckets()),
+			"readyz":  newHistogram(defLatencyBuckets()),
+			"metrics": newHistogram(defLatencyBuckets()),
+		},
+		batchSize: newHistogram(defBatchBuckets()),
+		started:   time.Now(),
+	}
+}
+
+// request records one completed request.
+func (m *metrics) request(endpoint string, code int, start time.Time) {
+	m.requests.With(fmt.Sprintf("code=%q,endpoint=%q", fmt.Sprint(code), endpoint)).Inc()
+	if h, ok := m.latency[endpoint]; ok {
+		h.ObserveSince(start)
+	}
+}
+
+// WriteTo renders the full metric set in Prometheus text format.
+func (m *metrics) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+
+	writeLabeled := func(name, help, typ string, lc *labeledCounter) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, e := range lc.snapshot() {
+			fmt.Fprintf(&b, "%s{%s} %d\n", name, e.Labels, e.Value)
+		}
+	}
+	writeCounter := func(name, help string, c *counter) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Value())
+	}
+	writeGauge := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	writeLabeled("serve_requests_total", "HTTP requests by endpoint and status code.", "counter", m.requests)
+
+	fmt.Fprintf(&b, "# HELP serve_request_seconds Request latency by endpoint.\n# TYPE serve_request_seconds histogram\n")
+	eps := make([]string, 0, len(m.latency))
+	for ep := range m.latency {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		m.latency[ep].write(&b, "serve_request_seconds", fmt.Sprintf("endpoint=%q", ep))
+	}
+
+	writeLabeled("serve_predictions_total", "Predictions served, by chosen format.", "counter", m.predictions)
+	writeLabeled("serve_fallbacks_total", "Predictions that degraded to the CSR baseline, by cause.", "counter", m.fallbacks)
+
+	writeCounter("serve_cache_hits_total", "Prediction cache hits (NN forward pass skipped).", &m.cacheHits)
+	writeCounter("serve_cache_misses_total", "Prediction cache misses.", &m.cacheMisses)
+	writeCounter("serve_cache_evictions_total", "Prediction cache LRU evictions.", &m.cacheEvictions)
+	writeGauge("serve_cache_entries", "Current prediction cache entries.", m.cacheSize.Value())
+
+	writeCounter("serve_batches_total", "Micro-batches dispatched to the worker pool.", &m.batches)
+	writeCounter("serve_batch_jobs_total", "Prediction jobs processed through batches.", &m.batchJobs)
+	fmt.Fprintf(&b, "# HELP serve_batch_size Jobs coalesced per micro-batch.\n# TYPE serve_batch_size histogram\n")
+	m.batchSize.write(&b, "serve_batch_size", "")
+	writeCounter("serve_queue_rejects_total", "Requests rejected because the batch queue was full.", &m.queueRejects)
+
+	writeCounter("serve_model_reloads_total", "Successful model hot reloads.", &m.reloads)
+	writeCounter("serve_model_reload_failures_total", "Rejected model reloads (validation failed; old model kept).", &m.reloadFails)
+	writeGauge("serve_model_generation", "Generation of the live model (bumps on every reload).", m.modelGen.Value())
+	writeGauge("serve_worker_panics_total", "Panics contained by the prediction worker pool.", m.workerPanics.Value())
+
+	inflight := m.inflight.Load()
+	if inflight < 0 {
+		inflight = 0
+	}
+	writeGauge("serve_inflight_requests", "Predict requests currently in flight.", uint64(inflight))
+	fmt.Fprintf(&b, "# HELP serve_uptime_seconds Seconds since the server started.\n# TYPE serve_uptime_seconds gauge\nserve_uptime_seconds %g\n", time.Since(m.started).Seconds())
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

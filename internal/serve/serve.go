@@ -1,0 +1,260 @@
+// Package serve is the online inference tier: an HTTP JSON service
+// that turns the trained CNN format selector into a long-running,
+// hot-reloadable prediction server. It is the production counterpart
+// of the one-shot cmd/predict pipeline and the foundation the scaling
+// roadmap (sharding, multi-model, GPU-profile selectors) builds on.
+//
+// Architecture, front to back:
+//
+//   - HTTP layer: POST /v1/predict (COO triplets as JSON, or a raw
+//     Matrix Market body), GET /healthz, GET /readyz, GET /metrics
+//     (Prometheus text format).
+//   - Prediction cache: an LRU keyed by sparse.Fingerprint — a
+//     position-only pattern hash — so structurally identical matrices
+//     skip the CNN forward pass entirely.
+//   - Micro-batching dispatcher: concurrent requests are coalesced
+//     into bounded batches (BatchMax jobs or BatchWindow, whichever
+//     first) and executed on a robust.Pool of panic-contained workers.
+//   - Model slot: an atomic.Pointer[selector.Selector] swapped by
+//     Reload after the candidate file passes the checksummed-envelope
+//     loader, so a corrupt deploy artifact can never take over and
+//     in-flight requests always see a complete model.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/robust"
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// ModelPath is the checksummed model artifact (selector.SaveFile
+	// output). It is re-read on Reload.
+	ModelPath string
+	// BatchMax bounds jobs per micro-batch (default 16).
+	BatchMax int
+	// BatchWindow is how long the dispatcher waits to fill a batch
+	// after the first job arrives (default 2ms).
+	BatchWindow time.Duration
+	// Workers sizes the prediction pool (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for dispatch; beyond it requests
+	// are rejected with 503 (default 4*BatchMax*Workers).
+	QueueDepth int
+	// CacheSize is the LRU prediction cache capacity in entries
+	// (default 1024; 0 disables, negative means default).
+	CacheSize int
+	// MaxBodyBytes caps accepted request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// Log receives operational lines (nil = silent).
+	Log io.Writer
+}
+
+func (c *Config) defaults() {
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.BatchMax * c.Workers
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+}
+
+// Server is the online format-selection service.
+type Server struct {
+	cfg Config
+
+	model atomic.Pointer[selector.Selector]
+	gen   atomic.Uint64 // model generation, bumped per successful (re)load
+
+	cache   *predictionCache
+	met     *metrics
+	pool    *robust.Pool
+	jobs    chan *job
+	quit    chan struct{}
+	dispWG  sync.WaitGroup
+	httpSrv atomic.Pointer[http.Server]
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	shutOnce sync.Once
+
+	// reload bookkeeping (see reload.go).
+	reloadMu  sync.Mutex
+	lastStamp modelStamp
+
+	// testHookPreBatch, when set, runs in the worker before a batch is
+	// predicted — tests use it to hold requests in flight.
+	testHookPreBatch func()
+}
+
+// New builds a Server and loads the initial model from cfg.ModelPath.
+// A missing or corrupt artifact is a construction error: a server that
+// cannot predict should fail its deploy, not start degraded (Reload
+// exists for recovery after startup).
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newPredictionCache(cfg.CacheSize),
+		met:   newMetrics(),
+		jobs:  make(chan *job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+	}
+	s.pool = robust.NewPool(cfg.Workers, cfg.Workers, func(pe *robust.PanicError) {
+		s.logf("serve: contained worker panic: %v", pe.Value)
+		s.met.workerPanics.Set(s.pool.Panics())
+	})
+	if err := s.Reload(); err != nil {
+		s.pool.Close()
+		return nil, fmt.Errorf("serve: initial model load: %w", err)
+	}
+	s.dispWG.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+// Generation returns the live model generation (1 = initial load).
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// Ready reports whether the server can take prediction traffic.
+func (s *Server) Ready() bool {
+	return s.model.Load() != nil && !s.draining.Load()
+}
+
+// Serve accepts connections on ln until Shutdown. It blocks, returning
+// http.ErrServerClosed after a clean shutdown like net/http does.
+func (s *Server) Serve(ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.httpSrv.Store(hs)
+	return hs.Serve(ln)
+}
+
+// ListenAndServe binds addr and serves; the bound address (useful with
+// ":0") is reported through onListen when non-nil.
+func (s *Server) ListenAndServe(addr string, onListen func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the server: readiness flips to 503, new predictions
+// are refused, in-flight requests run to completion (bounded by ctx),
+// the dispatcher and worker pool stop, and a final metrics snapshot is
+// flushed to the configured log. It returns ctx.Err() when the drain
+// deadline expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutOnce.Do(func() {
+		s.draining.Store(true)
+
+		// Stop the HTTP listener (if Serve was used) and wait for
+		// handler goroutines; both respect the ctx deadline.
+		if hs := s.httpSrv.Load(); hs != nil {
+			if e := hs.Shutdown(ctx); e != nil && !errors.Is(e, http.ErrServerClosed) {
+				err = e
+			}
+		}
+		done := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(done)
+		}()
+		drained := false
+		select {
+		case <-done:
+			drained = true
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+
+		// No new jobs can be accepted now. On a clean drain, stop the
+		// dispatcher and wait for the pool so every queued batch
+		// finishes. On a blown deadline a worker may be wedged; waiting
+		// on it would turn a bounded shutdown into an unbounded one, so
+		// the pool is abandoned (the process is exiting anyway).
+		close(s.quit)
+		if drained {
+			s.dispWG.Wait()
+			s.pool.Close()
+		} else {
+			s.logf("serve: drain deadline exceeded; abandoning in-flight work")
+		}
+
+		if s.cfg.Log != nil {
+			s.logf("serve: final metrics")
+			s.met.WriteTo(s.cfg.Log)
+		}
+	})
+	return err
+}
+
+// predictOne resolves one prediction request end to end: cache lookup,
+// micro-batched inference, cache fill. It is the handler-side entry
+// point; ctx aborts the wait (client gone / drain deadline).
+func (s *Server) predictOne(ctx context.Context, m *sparse.COO) (response, error) {
+	fp := sparse.Fingerprint(m)
+	if pred, gen, ok := s.cache.Get(fp); ok {
+		s.met.cacheHits.Inc()
+		return makeResponse(pred, gen, true), nil
+	}
+	s.met.cacheMisses.Inc()
+
+	j := &job{m: m, fp: fp, done: make(chan jobResult, 1)}
+	select {
+	case s.jobs <- j:
+	default:
+		s.met.queueRejects.Inc()
+		return response{}, errOverloaded
+	}
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			return response{}, res.err
+		}
+		return makeResponse(res.pred, res.gen, false), nil
+	case <-ctx.Done():
+		return response{}, ctx.Err()
+	}
+}
+
+var errOverloaded = errors.New("serve: prediction queue full")

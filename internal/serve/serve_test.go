@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/represent"
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+// saveTestModel writes a small (untrained — inference-valid weights are
+// all a serving test needs) selector model to path using the atomic
+// checksummed envelope writer, with a caller-chosen seed so distinct
+// seeds produce distinct model artifacts for reload tests.
+func saveTestModel(t testing.TB, path string, seed int64) {
+	t.Helper()
+	cfg := selector.DefaultConfig(represent.KindHistogram, sparse.CPUFormats())
+	cfg.Represent.Size = 16
+	cfg.Represent.Bins = 8
+	cfg.Seed = seed
+	s, err := selector.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestServer builds a Server around a fresh model file.
+func newTestServer(t testing.TB, mutate func(*Config)) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	saveTestModel(t, model, 1)
+	cfg := Config{ModelPath: model, BatchWindow: time.Millisecond, CacheSize: 64}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, model
+}
+
+// matrixJSON renders an n×n banded matrix as a predict request body.
+func matrixJSON(n, band int) []byte {
+	var req predictRequest
+	req.Rows, req.Cols = n, n
+	for i := 0; i < n; i++ {
+		for d := -band; d <= band; d++ {
+			if j := i + d; j >= 0 && j < n {
+				req.Entries = append(req.Entries, [3]float64{float64(i), float64(j), 1})
+			}
+		}
+	}
+	b, _ := json.Marshal(req)
+	return b
+}
+
+func postPredict(t testing.TB, ts *httptest.Server, body []byte, contentType string) (int, response, errorResponse) {
+	t.Helper()
+	code, ok, bad, err := postPredictErr(ts, body, contentType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, ok, bad
+}
+
+// postPredictErr is the goroutine-safe variant of postPredict: it
+// reports transport and decode failures as an error instead of failing
+// the test, so it may be called off the test goroutine.
+func postPredictErr(ts *httptest.Server, body []byte, contentType string) (int, response, errorResponse, error) {
+	resp, err := ts.Client().Post(ts.URL+"/v1/predict", contentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, response{}, errorResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var ok response
+	var bad errorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &ok); err != nil {
+			return resp.StatusCode, ok, bad, fmt.Errorf("bad 200 body %q: %v", data, err)
+		}
+	} else {
+		json.Unmarshal(data, &bad)
+	}
+	return resp.StatusCode, ok, bad, nil
+}
+
+func validFormat(t testing.TB, name string) sparse.Format {
+	t.Helper()
+	f, err := sparse.ParseFormat(name)
+	if err != nil {
+		t.Fatalf("server returned unknown format %q", name)
+	}
+	return f
+}
+
+func TestPredictJSON(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, resp, _ := postPredict(t, ts, matrixJSON(24, 2), "application/json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.FellBack {
+		t.Fatalf("unexpected fallback: %s", resp.Reason)
+	}
+	validFormat(t, resp.Format)
+	if len(resp.Probs) != len(sparse.CPUFormats()) {
+		t.Fatalf("got %d probs, want %d", len(resp.Probs), len(sparse.CPUFormats()))
+	}
+	sum := 0.0
+	for _, p := range resp.Probs {
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	if resp.ModelGeneration != 1 {
+		t.Fatalf("generation %d, want 1", resp.ModelGeneration)
+	}
+}
+
+func TestPredictMatrixMarket(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	m := sparse.MustCOO(10, 10, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 2}, {Row: 4, Col: 5, Val: -1}, {Row: 9, Col: 9, Val: 3},
+	})
+	var buf bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	// Once with the dedicated content type, once relying on banner
+	// sniffing.
+	for _, ct := range []string{"text/matrix-market", "text/plain"} {
+		code, resp, _ := postPredict(t, ts, buf.Bytes(), ct)
+		if code != http.StatusOK || resp.FellBack {
+			t.Fatalf("ct=%s: status %d fellback=%v (%s)", ct, code, resp.FellBack, resp.Reason)
+		}
+		validFormat(t, resp.Format)
+	}
+}
+
+func TestPredictRejectsBadBodies(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 2048 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := map[string][]byte{
+		"malformed json":    []byte(`{"rows": 3`),
+		"unknown fields":    []byte(`{"rows":3,"cols":3,"entries":[],"shape":"x"}`),
+		"bad dims":          []byte(`{"rows":0,"cols":3,"entries":[[0,0,1]]}`),
+		"out of range":      []byte(`{"rows":2,"cols":2,"entries":[[5,0,1]]}`),
+		"fractional coords": []byte(`{"rows":4,"cols":4,"entries":[[0.5,1,1]]}`),
+		"oversized":         matrixJSON(64, 8),
+	}
+	for name, body := range cases {
+		code, _, e := postPredict(t, ts, body, "application/json")
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: empty error body", name)
+		}
+	}
+	if code, _, _ := postPredict(t, ts, []byte("%%MatrixMarket matrix coordinate real general\nnot numbers"), "text/plain"); code != http.StatusBadRequest {
+		t.Errorf("bad matrix market: status %d, want 400", code)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET predict: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPredictEmptyMatrixFallsBack: a structurally valid but empty
+// matrix cannot be normalised; the service answers with the CSR
+// baseline and says why rather than erroring.
+func TestPredictEmptyMatrixFallsBack(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, resp, _ := postPredict(t, ts, []byte(`{"rows":5,"cols":5,"entries":[]}`), "application/json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.FellBack || resp.Format != selector.FallbackFormat.String() {
+		t.Fatalf("want CSR fallback, got %+v", resp)
+	}
+	if !strings.Contains(resp.Reason, "no nonzeros") {
+		t.Fatalf("reason %q", resp.Reason)
+	}
+}
+
+func TestHealthReadyMetricsEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 200, "/metrics": 200} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "serve_model_generation 1") {
+			t.Errorf("metrics missing generation gauge:\n%s", body)
+		}
+	}
+}
+
+func scrapeMetrics(t testing.TB, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// metricValue extracts a single un-labeled sample value.
+func metricValue(t testing.TB, page, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		var v float64
+		if n, _ := fmt.Sscanf(line, name+" %g", &v); n == 1 && strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, page)
+	return 0
+}
+
+// TestCacheHitSkipsForwardPass is acceptance-critical: the second
+// request for the same sparsity pattern must be answered from the LRU
+// cache (visible in /metrics) without another NN forward pass (visible
+// as an unchanged batch-job count).
+func TestCacheHitSkipsForwardPass(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := matrixJSON(20, 1)
+	code, first, _ := postPredict(t, ts, body, "application/json")
+	if code != 200 || first.Cached {
+		t.Fatalf("first: code %d cached=%v", code, first.Cached)
+	}
+	jobsAfterMiss := metricValue(t, scrapeMetrics(t, ts), "serve_batch_jobs_total")
+
+	// Same pattern, different values, different entry order: still a hit.
+	alt := matrixJSON(20, 1)
+	var req predictRequest
+	json.Unmarshal(alt, &req)
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(req.Entries), func(i, j int) { req.Entries[i], req.Entries[j] = req.Entries[j], req.Entries[i] })
+	for i := range req.Entries {
+		req.Entries[i][2] = rng.NormFloat64() + 5
+	}
+	alt, _ = json.Marshal(req)
+
+	code, second, _ := postPredict(t, ts, alt, "application/json")
+	if code != 200 {
+		t.Fatalf("second: code %d", code)
+	}
+	if !second.Cached {
+		t.Fatal("second request with identical pattern was not served from cache")
+	}
+	if second.Format != first.Format {
+		t.Fatalf("cache changed the answer: %s vs %s", second.Format, first.Format)
+	}
+
+	page := scrapeMetrics(t, ts)
+	if hits := metricValue(t, page, "serve_cache_hits_total"); hits < 1 {
+		t.Fatalf("cache hits %g, want >= 1", hits)
+	}
+	if jobs := metricValue(t, page, "serve_batch_jobs_total"); jobs != jobsAfterMiss {
+		t.Fatalf("batch jobs moved %g -> %g: cache hit did not skip the forward pass", jobsAfterMiss, jobs)
+	}
+}
+
+// TestConcurrentClients covers the acceptance load shape: 100
+// concurrent clients, each issuing several predictions over a mix of
+// patterns, everything answered 200 with a valid format. Run under
+// -race (scripts/check.sh) this also proves the batching path clean.
+func TestConcurrentClients(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.CacheSize = 32 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ts.Client().Transport.(*http.Transport).MaxIdleConnsPerHost = 100
+
+	bodies := make([][]byte, 7)
+	for i := range bodies {
+		bodies[i] = matrixJSON(12+3*i, 1+i%3)
+	}
+
+	const clients, perClient = 100, 5
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				code, resp, bad := postPredict(t, ts, bodies[(c+i)%len(bodies)], "application/json")
+				if code != http.StatusOK || resp.FellBack {
+					t.Errorf("client %d req %d: code %d fellback=%v err=%s reason=%s",
+						c, i, code, resp.FellBack, bad.Error, resp.Reason)
+					failures.Add(1)
+					return
+				}
+				if _, err := sparse.ParseFormat(resp.Format); err != nil {
+					t.Errorf("client %d req %d: bad format %q", c, i, resp.Format)
+					failures.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failed requests", failures.Load())
+	}
+	page := scrapeMetrics(t, ts)
+	if jobs := metricValue(t, page, "serve_batch_jobs_total"); jobs+metricValue(t, page, "serve_cache_hits_total") < clients*perClient {
+		t.Fatalf("accounting: %g jobs + hits for %d requests", jobs, clients*perClient)
+	}
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: build everything, vet, then run the full test suite with the
-# race detector. SHORT=1 narrows the race run to the internal packages
-# (skipping the slow experiment reproductions at the repo root).
+# CI gate: build everything, vet, run the serve smoke test (an
+# end-to-end train→serve→predict pass over the real binaries), then run
+# the full test suite with the race detector. SHORT=1 narrows the race
+# run to the internal packages (skipping the slow experiment
+# reproductions at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +12,7 @@ cd "$(dirname "$0")/.."
 # timeout is too tight.
 go build ./...
 go vet ./...
+go run ./scripts/servesmoke
 if [[ "${SHORT:-0}" == "1" ]]; then
     go test -race -timeout 45m ./internal/...
 else

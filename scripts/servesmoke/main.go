@@ -1,0 +1,312 @@
+// Command servesmoke is the CI smoke test for the online inference
+// service (wired into scripts/check.sh / make check). It exercises the
+// real binaries end to end:
+//
+//  1. trains a tiny model in-process and writes the envelope artifact,
+//  2. builds and starts cmd/serve on an ephemeral port,
+//  3. waits for readiness, POSTs a matrix as JSON and as Matrix
+//     Market, and checks a valid format comes back,
+//  4. checks the repeated request is answered from the cache and that
+//     the hit is visible in /metrics,
+//  5. overwrites the model file and waits for the hot-reload
+//     generation bump,
+//  6. runs cmd/predict in -server client mode against the live server,
+//  7. checks cmd/predict -fallback exits non-zero when the model fails
+//     to load while still printing the CSR baseline,
+//  8. SIGTERMs the server and requires a clean drain.
+//
+// It exits 0 only if every step passes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	model := filepath.Join(dir, "model.gob")
+	mtx := filepath.Join(dir, "example.mtx")
+
+	// 1. Tiny but real training run (the full Figure 3 pipeline at toy
+	// scale), saved through the checksummed envelope writer.
+	step("training tiny model")
+	res, err := core.Train(core.Options{
+		Count: 40, MaxN: 96, Epochs: 2, RepSize: 16, RepBins: 8, Seed: 11,
+	})
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	if err := res.Selector.SaveFile(model); err != nil {
+		return err
+	}
+
+	// An example matrix for the client-mode checks.
+	m := sparse.MustCOO(12, 12, diagEntries(12))
+	var mb bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&mb, m); err != nil {
+		return err
+	}
+	if err := os.WriteFile(mtx, mb.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	// 2. Build and start the server.
+	step("building binaries")
+	serveBin := filepath.Join(dir, "serve")
+	predictBin := filepath.Join(dir, "predict")
+	for bin, pkg := range map[string]string{serveBin: "./cmd/serve", predictBin: "./cmd/predict"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			return fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	step("starting server")
+	srv := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-model", model, "-watch", "100ms", "-cache", "64")
+	srv.Stderr = os.Stderr
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+
+	base, err := scrapeAddr(stdout)
+	if err != nil {
+		return err
+	}
+
+	// 3. Readiness, then predictions in both body encodings.
+	step("waiting for readiness at " + base)
+	if err := waitReady(base + "/readyz"); err != nil {
+		return err
+	}
+	jsonBody := `{"rows":12,"cols":12,"entries":[` + jsonEntries(12) + `]}`
+	format1, cached1, err := postPredict(base, "application/json", jsonBody)
+	if err != nil {
+		return err
+	}
+	if cached1 {
+		return fmt.Errorf("first prediction claimed to be cached")
+	}
+	if _, err := sparse.ParseFormat(format1); err != nil {
+		return fmt.Errorf("server returned invalid format %q", format1)
+	}
+	fmt.Printf("servesmoke: predicted %s\n", format1)
+	if f, _, err := postPredict(base, "text/matrix-market", mb.String()); err != nil {
+		return err
+	} else if f != format1 {
+		return fmt.Errorf("matrix-market body predicted %s, json predicted %s", f, format1)
+	}
+
+	// 4. Cache hit on the identical pattern, visible in /metrics.
+	step("checking cache")
+	format2, cached2, err := postPredict(base, "application/json", jsonBody)
+	if err != nil {
+		return err
+	}
+	if !cached2 || format2 != format1 {
+		return fmt.Errorf("repeat request: cached=%v format=%s (want cached %s)", cached2, format2, format1)
+	}
+	page, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if !regexp.MustCompile(`(?m)^serve_cache_hits_total [1-9]`).MatchString(page) {
+		return fmt.Errorf("/metrics does not show cache hits")
+	}
+
+	// 5. Hot reload: overwrite the model file, watch the generation.
+	step("checking hot reload")
+	if err := res.Selector.SaveFile(model); err != nil {
+		return err
+	}
+	if err := waitFor(10*time.Second, func() (bool, error) {
+		page, err := get(base + "/metrics")
+		if err != nil {
+			return false, nil // server may be mid-poll; retry
+		}
+		return strings.Contains(page, "serve_model_generation 2"), nil
+	}); err != nil {
+		return fmt.Errorf("model overwrite was never hot-reloaded: %w", err)
+	}
+
+	// 6. Thin-client mode against the live server.
+	step("checking predict -server client mode")
+	out, err := exec.Command(predictBin, "-server", base, mtx).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("predict -server: %v\n%s", err, out)
+	}
+	clientFormat := strings.Fields(string(out))[0]
+	if _, err := sparse.ParseFormat(clientFormat); err != nil {
+		return fmt.Errorf("predict -server printed %q", clientFormat)
+	}
+
+	// 7. Fallback masking fix: a missing model must fail the exit code
+	// even though -fallback prints the CSR baseline.
+	step("checking predict -fallback exit code on missing model")
+	cmd := exec.Command(predictBin, "-model", filepath.Join(dir, "missing.gob"), "-fallback", mtx)
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		return fmt.Errorf("predict -fallback with a missing model exited 0\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		return fmt.Errorf("predict -fallback: %v, want exit code 1\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), selector.FallbackFormat.String()) {
+		return fmt.Errorf("predict -fallback did not print the baseline:\n%s", out)
+	}
+
+	// 8. Graceful drain on SIGTERM.
+	step("checking graceful shutdown")
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("server did not drain within 15s of SIGTERM")
+	}
+	return nil
+}
+
+func step(msg string) { fmt.Println("servesmoke:", msg) }
+
+func diagEntries(n int) []sparse.Entry {
+	var es []sparse.Entry
+	for i := 0; i < n; i++ {
+		es = append(es, sparse.Entry{Row: i, Col: i, Val: 2})
+		if i+1 < n {
+			es = append(es, sparse.Entry{Row: i, Col: i + 1, Val: -1})
+		}
+	}
+	return es
+}
+
+func jsonEntries(n int) string {
+	var parts []string
+	for _, e := range diagEntries(n) {
+		parts = append(parts, fmt.Sprintf("[%d,%d,%g]", e.Row, e.Col, e.Val))
+	}
+	return strings.Join(parts, ",")
+}
+
+// scrapeAddr reads the server's "listening on http://..." line.
+func scrapeAddr(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	re := regexp.MustCompile(`listening on (http://\S+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			// Keep draining stdout so the child never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return m[1], nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	return "", fmt.Errorf("server never printed its listen address")
+}
+
+func waitReady(url string) error {
+	return waitFor(15*time.Second, func() (bool, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return false, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK, nil
+	})
+}
+
+func waitFor(limit time.Duration, cond func() (bool, error)) error {
+	deadline := time.Now().Add(limit)
+	for {
+		ok, err := cond()
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out after %v", limit)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// postPredict sends one prediction request and returns (format, cached).
+func postPredict(base, contentType, body string) (string, bool, error) {
+	resp, err := http.Post(base+"/v1/predict", contentType, strings.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("predict returned %s: %s", resp.Status, data)
+	}
+	var r struct {
+		Format   string `json:"format"`
+		FellBack bool   `json:"fell_back"`
+		Reason   string `json:"reason"`
+		Cached   bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return "", false, fmt.Errorf("bad response %q: %v", data, err)
+	}
+	if r.FellBack {
+		return "", false, fmt.Errorf("prediction fell back: %s", r.Reason)
+	}
+	return r.Format, r.Cached, nil
+}
