@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check smoke bench
+.PHONY: build test check smoke fuzz bench
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ check:
 # caching, hot reload and graceful drain.
 smoke:
 	$(GO) run ./scripts/servesmoke
+
+# fuzz runs the native fuzz targets over the hardened ingestion
+# surfaces (MatrixMarket parsing and the predict request path). Budget
+# per target is FUZZTIME (default 30s); CI runs a shorter smoke via
+# scripts/check.sh.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadMatrixMarket$$' -fuzztime=$(FUZZTIME) ./internal/sparse
+	$(GO) test -run='^$$' -fuzz='^FuzzPredictJSON$$' -fuzztime=$(FUZZTIME) ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchtime=200ms -run=^$$ .

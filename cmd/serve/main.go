@@ -14,6 +14,15 @@
 // model keeps serving). SIGINT/SIGTERM drain gracefully: readiness
 // flips to 503, in-flight requests finish within -drain-timeout, and a
 // final metrics snapshot is logged.
+//
+// Robustness: ingestion is resource-governed (-max-rows, -max-cols,
+// -max-nnz, -max-body bound what one request may cost; violations
+// answer 413), overload is shed from a bounded queue (-queue) with
+// 429 + Retry-After, and a circuit breaker (-breaker-threshold,
+// -breaker-cooldown) degrades a sick CNN onto the decision-tree rung
+// (-dtree, or a built-in heuristic) and recovers it via half-open
+// probes. SERVE_FAULT_INJECT arms chaos points for drills, e.g.
+// SERVE_FAULT_INJECT="serve.predict.panic:3".
 package main
 
 import (
@@ -28,7 +37,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/serve"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -40,15 +51,44 @@ func main() {
 	cacheSize := flag.Int("cache", 1024, "prediction cache entries (0 disables)")
 	watch := flag.Duration("watch", 2*time.Second, "model file watch interval (0 disables hot-reload watching)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	maxRows := flag.Int("max-rows", 4<<20, "largest accepted row count per matrix (413 beyond)")
+	maxCols := flag.Int("max-cols", 4<<20, "largest accepted column count per matrix (413 beyond)")
+	maxNNZ := flag.Int("max-nnz", 16<<20, "largest accepted nonzero count per matrix (413 beyond)")
+	maxBody := flag.Int64("max-body", 32<<20, "largest accepted request body in bytes (413 beyond)")
+	queue := flag.Int("queue", 0, "prediction queue depth before shedding 429s (0 = 4*batch*workers)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive CNN failures before degrading to the decision tree")
+	breakerCooldown := flag.Duration("breaker-cooldown", 15*time.Second, "wait before a half-open probe retries the CNN")
+	predictTimeout := flag.Duration("predict-timeout", 2*time.Second, "per-inference CNN deadline before degrading")
+	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "end-to-end deadline budget per request")
+	dtreePath := flag.String("dtree", "", "trained decision-tree artifact for the degraded rung (empty = built-in heuristic)")
 	flag.Parse()
 
+	if spec := os.Getenv("SERVE_FAULT_INJECT"); spec != "" {
+		if err := faultinject.Arm(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: SERVE_FAULT_INJECT:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "serve: fault injection armed: %s\n", spec)
+	}
+
+	limits := sparse.DefaultLimits()
+	limits.MaxRows, limits.MaxCols, limits.MaxNNZ = *maxRows, *maxCols, *maxNNZ
+
 	s, err := serve.New(serve.Config{
-		ModelPath:   *model,
-		BatchMax:    *batch,
-		BatchWindow: *batchWindow,
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		Log:         os.Stderr,
+		ModelPath:        *model,
+		BatchMax:         *batch,
+		BatchWindow:      *batchWindow,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		MaxBodyBytes:     *maxBody,
+		Limits:           limits,
+		RequestTimeout:   *requestTimeout,
+		PredictTimeout:   *predictTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		DTreePath:        *dtreePath,
+		Log:              os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

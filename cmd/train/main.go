@@ -22,6 +22,8 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/features"
 	"repro/internal/represent"
 )
 
@@ -37,6 +39,7 @@ func main() {
 	wall := flag.Bool("wallclock", false, "label with real kernel timings instead of the platform model")
 	out := flag.String("out", "model.gob", "output model file")
 	dataOut := flag.String("dataset", "", "optional dataset output file (gob)")
+	dtreeOut := flag.String("dtree-out", "", "optional decision-tree baseline artifact, trained on the same split (for serve -dtree)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic training checkpoints")
 	ckptEvery := flag.Int("checkpoint-every", 5, "checkpoint period in epochs")
 	resume := flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir")
@@ -94,5 +97,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("dataset saved to %s\n", *dataOut)
+	}
+	if *dtreeOut != "" {
+		// The serving ladder's middle rung: the SMAT-style tree fitted on
+		// the same training split, packaged as a checksummed artifact.
+		d := res.Dataset
+		var X [][]float64
+		var y []int
+		for _, i := range res.Train {
+			r := d.Records[i]
+			X = append(X, features.BaselineFromStats(r.Stats))
+			y = append(y, d.ClassIndex(r.Label))
+		}
+		dt, err := dtree.FitBaseline(X, y, d.Formats, dtree.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "train: dtree:", err)
+			os.Exit(1)
+		}
+		if err := dt.SaveFile(*dtreeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "train: dtree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("decision-tree baseline saved to %s\n", *dtreeOut)
 	}
 }

@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("registry not empty at start")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+}
+
+func TestErrFaultCountsAndExhausts(t *testing.T) {
+	Reset()
+	defer Reset()
+	want := errors.New("boom")
+	Enable("p", Fault{Err: want, Remaining: 2})
+	for i := 0; i < 2; i++ {
+		if err := Inject("p"); !errors.Is(err, want) {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("exhausted fault still fired: %v", err)
+	}
+	if got := Fired("p"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Fault{Panic: "kaboom"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic fault did not panic")
+		}
+	}()
+	Inject("p")
+}
+
+func TestDelayHonoursContext(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Fault{Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := InjectCtx(ctx, "p")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored the context")
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	Reset()
+	Enable("a", Fault{Err: ErrInjected})
+	Enable("b", Fault{Err: ErrInjected})
+	Disable("a")
+	if err := Inject("a"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	if !Active() {
+		t.Fatal("b should still be armed")
+	}
+	Reset()
+	if Active() {
+		t.Fatal("Reset left points armed")
+	}
+}
+
+func TestArmSpecs(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("serve.reload.corrupt:1, sparse.parse.stall@20ms"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("serve.reload.corrupt"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("corrupt point: %v", err)
+	}
+	if err := Inject("serve.reload.corrupt"); err != nil {
+		t.Fatalf("count 1 not honoured: %v", err)
+	}
+	start := time.Now()
+	if err := Inject("sparse.parse.stall"); err != nil {
+		t.Fatalf("stall point errored: %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("stall delay not applied")
+	}
+	if err := Arm("x@notaduration"); err == nil {
+		t.Fatal("bad delay accepted")
+	}
+	if err := Arm("x:zero"); err == nil {
+		t.Fatal("bad count accepted")
+	}
+}

@@ -41,6 +41,10 @@ const (
 	EnvelopeModel uint32 = iota + 1
 	EnvelopeSelector
 	EnvelopeCheckpoint
+	// EnvelopeDTree holds a serialised decision-tree selector — the
+	// degradation rung the serving ladder falls back to when the CNN
+	// path is sick.
+	EnvelopeDTree
 )
 
 // Typed envelope errors. Callers match with errors.Is to distinguish

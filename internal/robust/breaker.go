@@ -1,0 +1,162 @@
+package robust
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the protected path is healthy and taking traffic.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the path failed Threshold times in a row and is
+	// short-circuited until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; one probe is allowed through
+	// to test recovery while everyone else stays short-circuited.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker for a degradable
+// dependency (in this repo: the CNN rung of the serving ladder). It is
+// deliberately simple — counts, a cooldown clock and a single-probe
+// half-open state — because its failure modes must be easier to reason
+// about than the failures it guards against.
+//
+// All methods are safe for concurrent use.
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	state       BreakerState
+	consecutive int
+	since       time.Time // state entry time (open: for cooldown; half-open: probe age)
+	now         func() time.Time
+
+	// OnTransition, when set (before first use), observes every state
+	// change; it is called with the breaker's lock held and must not
+	// call back into the breaker.
+	OnTransition func(from, to BreakerState)
+}
+
+// NewBreaker builds a closed breaker that opens after threshold
+// consecutive failures (minimum 1) and probes again after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// transition moves the state and notifies. Callers hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	b.since = b.now()
+	if b.OnTransition != nil {
+		b.OnTransition(from, to)
+	}
+}
+
+// Allow reports whether the protected path may be tried now. In the
+// open state it flips to half-open once the cooldown has elapsed and
+// admits the caller as the probe; a probe that never reports back
+// stops blocking after another cooldown period, so an abandoned probe
+// cannot wedge the breaker half-open forever.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.since) >= b.cooldown {
+			b.transition(BreakerHalfOpen)
+			return true
+		}
+		return false
+	default: // half-open: one probe outstanding
+		if b.now().Sub(b.since) >= b.cooldown {
+			b.since = b.now() // re-admit: the previous probe was abandoned
+			return true
+		}
+		return false
+	}
+}
+
+// Success reports a healthy answer from the protected path: it closes
+// a half-open breaker and clears the failure streak of a closed one.
+// Success while open is ignored (a stale answer from before the trip).
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consecutive = 0
+	case BreakerHalfOpen:
+		b.consecutive = 0
+		b.transition(BreakerClosed)
+	}
+}
+
+// Failure reports a failed try: it re-opens a half-open breaker
+// immediately and trips a closed one when the streak reaches the
+// threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.transition(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.transition(BreakerOpen)
+	}
+}
+
+// Reset force-closes the breaker and clears the streak — for events
+// that re-establish health out of band, such as a validated model
+// reload.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.transition(BreakerClosed)
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// setClock injects a fake clock for tests.
+func (b *Breaker) setClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+	b.since = now()
+}

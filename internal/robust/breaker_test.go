@@ -1,0 +1,178 @@
+package robust
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	c := &fakeClock{t: time.Unix(0, 0)}
+	b.setClock(c.now)
+	return b, c
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below threshold")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved success did not reset the streak")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while probe outstanding")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("probe success did not close")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("probe failure did not reopen")
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted traffic immediately")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+}
+
+func TestBreakerAbandonedProbeSelfHeals(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	// The probe never reports back. After another cooldown, a new
+	// caller must be admitted anyway.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("abandoned probe wedged the breaker")
+	}
+}
+
+func TestBreakerResetForceCloses(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Hour)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	b.Reset()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("Reset did not close the breaker")
+	}
+}
+
+func TestBreakerTransitionHook(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	var trans []string
+	b.OnTransition = func(from, to BreakerState) {
+		trans = append(trans, from.String()+">"+to.String())
+	}
+	b.Failure()
+	clk.advance(time.Second)
+	b.Allow()
+	b.Success()
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(trans) != len(want) {
+		t.Fatalf("transitions %v, want %v", trans, want)
+	}
+	for i := range want {
+		if trans[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, trans[i], want[i])
+		}
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					if (g+i)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// No assertion beyond -race cleanliness and a legal final state.
+	s := b.State()
+	if s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+		t.Fatalf("illegal state %v", s)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 
 // job is one prediction request in flight between handler and worker.
 type job struct {
+	ctx  context.Context // request context: deadline budget + client liveness
 	m    *sparse.COO
 	fp   uint64
 	done chan jobResult // buffered(1): workers never block on a gone client
@@ -18,6 +20,7 @@ type job struct {
 type jobResult struct {
 	pred selector.Prediction
 	gen  uint64
+	rung string
 	err  error
 }
 
@@ -75,9 +78,10 @@ func (s *Server) drainJobs() {
 }
 
 // runBatch executes one micro-batch on a pool worker. Every job is
-// guaranteed an answer: PredictWithFallback cannot fail, and the
-// deferred sweep covers a panic escaping between jobs (the pool
-// contains the panic; the sweep keeps handlers from hanging).
+// guaranteed an answer: the degradation ladder cannot fail (the CSR
+// floor is unconditional), and the deferred sweep covers a panic
+// escaping between jobs (the pool contains the panic; the sweep keeps
+// handlers from hanging).
 func (s *Server) runBatch(batch []*job) {
 	answered := 0
 	defer func() {
@@ -96,18 +100,19 @@ func (s *Server) runBatch(batch []*job) {
 	s.met.batchSize.Observe(float64(len(batch)))
 
 	for _, j := range batch {
-		pred := sel.PredictWithFallback(j.m)
+		pred, rung := s.ladderPredict(j.ctx, sel, j.m)
+		s.met.rungs.With(rungLabel(rung)).Inc()
 		if pred.FellBack {
 			s.met.fallbacks.With(reasonLabel(pred.Reason)).Inc()
 		} else {
 			s.met.predictions.With(formatLabel(pred.Format)).Inc()
-			// Only model-backed answers are cached: a fallback caused by
-			// a transient condition must not be replayed from cache
-			// after the condition clears.
+			// Only healthy CNN answers are cached: a degraded answer
+			// caused by a transient condition must not be replayed from
+			// cache after the condition clears.
 			s.cache.Add(j.fp, pred, gen)
 			s.met.cacheSize.Set(uint64(s.cache.Len()))
 		}
-		j.done <- jobResult{pred: pred, gen: gen}
+		j.done <- jobResult{pred: pred, gen: gen, rung: rung}
 		answered++
 	}
 }

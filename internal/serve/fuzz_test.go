@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// FuzzPredictJSON drives the full request-ingestion path — body size
+// cap, content sniffing, JSON and MatrixMarket decoding, resource
+// limits, COO construction — with arbitrary bodies and content types.
+// The invariant is the robustness contract: parseMatrix never panics,
+// and every rejection maps onto the typed 400/413/422 taxonomy (no
+// rejection may look like a server fault).
+func FuzzPredictJSON(f *testing.F) {
+	f.Add(`{"rows":3,"cols":3,"entries":[[0,0,1],[1,2,-4]]}`, "application/json")
+	f.Add(`{"rows":0,"cols":0,"entries":[]}`, "application/json")
+	f.Add(`{"rows":3`, "application/json")
+	f.Add(`{"rows":3,"cols":3,"entries":[[0.5,1,1]]}`, "application/json")
+	f.Add(`{"rows":99999999,"cols":99999999,"entries":[]}`, "application/json")
+	f.Add(`{"rows":2,"cols":2,"entries":[[5,0,1]]}`, "application/json")
+	f.Add(`{"rows":3,"cols":3,"entries":[],"extra":1}`, "application/json")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n", "text/matrix-market")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 3\n2 1 -1\n", "text/plain")
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n", "text/matrix-market")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9\n1 1 1\n", "text/plain")
+	f.Add("not a matrix at all", "text/plain")
+	f.Add("", "application/json")
+
+	// A model-less server is enough: parseMatrix only needs cfg.
+	cfg := Config{
+		MaxBodyBytes: 1 << 16,
+		Limits: sparse.Limits{
+			MaxRows:      1 << 10,
+			MaxCols:      1 << 10,
+			MaxNNZ:       1 << 10,
+			MaxLineBytes: 1 << 8,
+		},
+	}
+	cfg.defaults()
+	s := &Server{cfg: cfg}
+
+	f.Fuzz(func(t *testing.T, body, contentType string) {
+		if strings.ContainsAny(contentType, "\r\n") {
+			t.Skip() // not settable as a header; nothing to test
+		}
+		req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader([]byte(body)))
+		req.Header.Set("Content-Type", contentType)
+		m, err := s.parseMatrix(context.Background(), req)
+		if err != nil {
+			if st := ingestStatus(err); st != 400 && st != 413 && st != 422 {
+				t.Fatalf("rejection mapped to status %d (err %v)", st, err)
+			}
+			return
+		}
+		// Accepted matrices must respect the configured resource budget
+		// (×2 headroom: symmetric MatrixMarket entries expand to two).
+		r, c := m.Dims()
+		if r > cfg.Limits.MaxRows || c > cfg.Limits.MaxCols || m.NNZ() > 2*cfg.Limits.MaxNNZ {
+			t.Fatalf("accepted %dx%d matrix with %d nonzeros past limits %+v", r, c, m.NNZ(), cfg.Limits)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,13 +25,15 @@ type predictRequest struct {
 	Entries [][3]float64 `json:"entries"` // [row, col, value]
 }
 
-// response is the JSON answer for POST /v1/predict.
+// response is the JSON answer for POST /v1/predict. Rung reports which
+// ladder layer produced the answer: "cnn", "dtree" or "csr".
 type response struct {
 	Format          string             `json:"format"`
 	Probs           map[string]float64 `json:"probs,omitempty"`
 	FellBack        bool               `json:"fell_back"`
 	Reason          string             `json:"reason,omitempty"`
 	Cached          bool               `json:"cached"`
+	Rung            string             `json:"rung"`
 	ModelGeneration uint64             `json:"model_generation"`
 }
 
@@ -39,11 +42,12 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func makeResponse(p selector.Prediction, gen uint64, cached bool) response {
+func makeResponse(p selector.Prediction, gen uint64, cached bool, rung string) response {
 	r := response{
 		Format:          p.Format.String(),
 		FellBack:        p.FellBack,
 		Cached:          cached,
+		Rung:            rung,
 		ModelGeneration: gen,
 	}
 	if p.Reason != nil {
@@ -100,40 +104,67 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	m, err := s.parseMatrix(r)
+	// The per-request deadline budget: parse, queueing and prediction
+	// together must finish inside RequestTimeout, so one slow request
+	// cannot occupy a worker indefinitely.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	m, err := s.parseMatrix(ctx, r)
 	if err != nil {
-		code = http.StatusBadRequest
+		code = ingestStatus(err)
 		writeJSON(w, code, errorResponse{Error: err.Error()})
 		return
 	}
 
-	resp, err := s.predictOne(r.Context(), m)
+	resp, err := s.predictOne(ctx, m)
 	switch {
 	case err == nil:
 		writeJSON(w, code, resp)
-	case errors.Is(err, errOverloaded), errors.Is(err, errShutdown):
+	case errors.Is(err, errOverloaded):
+		// Shed, not failed: tell the client when to come back.
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+	case errors.Is(err, errShutdown):
 		code = http.StatusServiceUnavailable
 		writeJSON(w, code, errorResponse{Error: err.Error()})
-	default: // client went away or drain deadline hit mid-wait
+	default: // client went away or request budget spent mid-wait
 		code = http.StatusServiceUnavailable
 		writeJSON(w, code, errorResponse{Error: err.Error()})
 	}
 }
 
+// ingestStatus maps an ingestion failure onto the typed status
+// taxonomy: 413 for resource-cap violations, 422 for well-formed but
+// unsupported documents, 400 for everything malformed.
+func ingestStatus(err error) int {
+	switch {
+	case errors.Is(err, sparse.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, sparse.ErrUnsupported):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 // parseMatrix decodes the request body as JSON triplets or a Matrix
-// Market document, bounded by MaxBodyBytes.
-func (s *Server) parseMatrix(r *http.Request) (*sparse.COO, error) {
+// Market document, bounded by MaxBodyBytes and cfg.Limits. Every
+// failure wraps one of the typed sparse ingestion errors (or reads as
+// plain malformation), so handlePredict can map it onto 400/413/422.
+func (s *Server) parseMatrix(ctx context.Context, r *http.Request) (*sparse.COO, error) {
 	body := io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1)
 	data, err := io.ReadAll(body)
 	if err != nil {
 		return nil, fmt.Errorf("reading body: %w", err)
 	}
 	if int64(len(data)) > s.cfg.MaxBodyBytes {
-		return nil, fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		return nil, fmt.Errorf("%w: body exceeds %d bytes", sparse.ErrTooLarge, s.cfg.MaxBodyBytes)
 	}
 	ct := r.Header.Get("Content-Type")
 	if strings.Contains(ct, "matrix-market") || bytes.HasPrefix(bytes.TrimSpace(data), []byte("%%MatrixMarket")) {
-		m, err := sparse.ReadMatrixMarket(bytes.NewReader(data))
+		m, err := sparse.ReadMatrixMarketLimits(ctx, bytes.NewReader(data), s.cfg.Limits)
 		if err != nil {
 			return nil, fmt.Errorf("parsing Matrix Market body: %w", err)
 		}
@@ -144,6 +175,18 @@ func (s *Server) parseMatrix(r *http.Request) (*sparse.COO, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("parsing JSON body: %w", err)
+	}
+	// The JSON path honours the same resource budget as the Matrix
+	// Market reader.
+	lim := s.cfg.Limits
+	if lim.MaxRows > 0 && req.Rows > lim.MaxRows {
+		return nil, fmt.Errorf("%w: %d rows exceeds cap %d", sparse.ErrTooLarge, req.Rows, lim.MaxRows)
+	}
+	if lim.MaxCols > 0 && req.Cols > lim.MaxCols {
+		return nil, fmt.Errorf("%w: %d cols exceeds cap %d", sparse.ErrTooLarge, req.Cols, lim.MaxCols)
+	}
+	if lim.MaxNNZ > 0 && len(req.Entries) > lim.MaxNNZ {
+		return nil, fmt.Errorf("%w: %d entries exceeds cap %d", sparse.ErrTooLarge, len(req.Entries), lim.MaxNNZ)
 	}
 	entries := make([]sparse.Entry, len(req.Entries))
 	for i, e := range req.Entries {

@@ -166,6 +166,13 @@ type metrics struct {
 	workerPanics   gauge
 	inflight       atomic.Int64
 	started        time.Time
+
+	// Degradation-ladder instruments (see ladder.go).
+	rungs                *labeledCounter // which ladder rung answered
+	cnnFailures          *labeledCounter // CNN rung failures by cause
+	breakerTransitions   *labeledCounter // breaker transitions by target state
+	breakerState         gauge           // 0=closed, 1=open, 2=half-open
+	breakerShortCircuits counter         // requests routed past the CNN without trying it
 }
 
 func newMetrics() *metrics {
@@ -179,8 +186,11 @@ func newMetrics() *metrics {
 			"readyz":  newHistogram(defLatencyBuckets()),
 			"metrics": newHistogram(defLatencyBuckets()),
 		},
-		batchSize: newHistogram(defBatchBuckets()),
-		started:   time.Now(),
+		batchSize:          newHistogram(defBatchBuckets()),
+		started:            time.Now(),
+		rungs:              newLabeledCounter(),
+		cnnFailures:        newLabeledCounter(),
+		breakerTransitions: newLabeledCounter(),
 	}
 }
 
@@ -223,6 +233,11 @@ func (m *metrics) WriteTo(w io.Writer) (int64, error) {
 
 	writeLabeled("serve_predictions_total", "Predictions served, by chosen format.", "counter", m.predictions)
 	writeLabeled("serve_fallbacks_total", "Predictions that degraded to the CSR baseline, by cause.", "counter", m.fallbacks)
+	writeLabeled("serve_rung_total", "Predictions answered, by ladder rung (cnn, dtree, csr).", "counter", m.rungs)
+	writeLabeled("serve_cnn_failures_total", "CNN rung failures counted against the breaker, by cause.", "counter", m.cnnFailures)
+	writeLabeled("serve_breaker_transitions_total", "Circuit breaker state transitions, by target state.", "counter", m.breakerTransitions)
+	writeGauge("serve_breaker_state", "Circuit breaker state (0=closed, 1=open, 2=half-open).", m.breakerState.Value())
+	writeCounter("serve_breaker_short_circuits_total", "Requests routed past the CNN rung while the breaker was open.", &m.breakerShortCircuits)
 
 	writeCounter("serve_cache_hits_total", "Prediction cache hits (NN forward pass skipped).", &m.cacheHits)
 	writeCounter("serve_cache_misses_total", "Prediction cache misses.", &m.cacheMisses)

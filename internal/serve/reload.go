@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/selector"
 	"repro/internal/sparse"
 )
@@ -41,15 +42,23 @@ func (s *Server) Reload() error {
 	stamp, statErr := stampOf(s.cfg.ModelPath)
 
 	sel, err := selector.LoadFile(s.cfg.ModelPath)
+	if err == nil {
+		// Validation beyond decode: the selector must actually answer on
+		// a probe matrix before it is allowed to take traffic. The chaos
+		// suite injects a rejection here to model an artifact that decays
+		// after validation.
+		if perr := probe(sel); perr != nil {
+			err = perr
+		} else if ierr := faultinject.Inject(faultinject.PointReloadCorrupt); ierr != nil {
+			err = fmt.Errorf("serve: model reload: %w", ierr)
+		}
+	}
 	if err != nil {
 		s.met.reloadFails.Inc()
-		s.logf("serve: model reload rejected: %v", err)
-		return err
-	}
-	// Validation beyond decode: the selector must actually answer on a
-	// probe matrix before it is allowed to take traffic.
-	if err := probe(sel); err != nil {
-		s.met.reloadFails.Inc()
+		// A rejected reload is evidence against the CNN rung: the
+		// artifact on disk is bad, so consecutive rejections walk the
+		// breaker toward the decision-tree rung.
+		s.breaker.Failure()
 		s.logf("serve: model reload rejected: %v", err)
 		return err
 	}
@@ -62,6 +71,9 @@ func (s *Server) Reload() error {
 	if statErr == nil {
 		s.lastStamp = stamp
 	}
+	// A validated model is direct evidence the CNN rung is healthy
+	// again: close the breaker instead of waiting out its cooldown.
+	s.breaker.Reset()
 	if gen > 1 {
 		s.met.reloads.Inc()
 		s.logf("serve: model reloaded from %s (generation %d)", s.cfg.ModelPath, gen)

@@ -19,6 +19,11 @@
 //     Reload after the candidate file passes the checksummed-envelope
 //     loader, so a corrupt deploy artifact can never take over and
 //     in-flight requests always see a complete model.
+//   - Degradation ladder (ladder.go): a circuit breaker guards the CNN
+//     rung; consecutive panics, timeouts or reload rejections route
+//     traffic to the decision-tree baseline rung and, below it, the
+//     always-CSR floor — a sick model degrades answer quality, never
+//     availability. Responses and /metrics report which rung answered.
 package serve
 
 import (
@@ -33,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dtree"
 	"repro/internal/robust"
 	"repro/internal/selector"
 	"repro/internal/sparse"
@@ -58,6 +64,27 @@ type Config struct {
 	CacheSize int
 	// MaxBodyBytes caps accepted request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// Limits is the resource budget for ingesting one request body
+	// (dimension, nonzero and line-length caps). The zero value means
+	// sparse.DefaultLimits — the service never runs uncapped.
+	Limits sparse.Limits
+	// RequestTimeout is the per-request deadline budget covering parse,
+	// queueing and prediction (default 15s).
+	RequestTimeout time.Duration
+	// PredictTimeout bounds one CNN inference before the ladder counts
+	// it as a failure and degrades (default 2s).
+	PredictTimeout time.Duration
+	// BreakerThreshold is how many consecutive CNN failures (panics,
+	// timeouts, reload rejections) trip the breaker onto the
+	// decision-tree rung (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker waits before
+	// letting a half-open probe test the CNN again (default 15s).
+	BreakerCooldown time.Duration
+	// DTreePath optionally names a trained decision-tree artifact
+	// (dtree.SaveFile output) for the degraded rung. Empty means the
+	// built-in heuristic tree over the model's format set.
+	DTreePath string
 	// Log receives operational lines (nil = silent).
 	Log io.Writer
 }
@@ -81,6 +108,21 @@ func (c *Config) defaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.Limits == (sparse.Limits{}) {
+		c.Limits = sparse.DefaultLimits()
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.PredictTimeout <= 0 {
+		c.PredictTimeout = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 15 * time.Second
+	}
 }
 
 // Server is the online format-selection service.
@@ -89,6 +131,11 @@ type Server struct {
 
 	model atomic.Pointer[selector.Selector]
 	gen   atomic.Uint64 // model generation, bumped per successful (re)load
+
+	// The degradation ladder (see ladder.go): breaker guards the CNN
+	// rung, dtree is the middle rung, CSR the floor.
+	breaker *robust.Breaker
+	dtree   *dtree.Selector
 
 	cache   *predictionCache
 	met     *metrics
@@ -128,9 +175,29 @@ func New(cfg Config) (*Server, error) {
 		s.logf("serve: contained worker panic: %v", pe.Value)
 		s.met.workerPanics.Set(s.pool.Panics())
 	})
+	s.breaker = robust.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	s.breaker.OnTransition = func(from, to robust.BreakerState) {
+		s.met.breakerState.Set(uint64(to))
+		s.met.breakerTransitions.With(fmt.Sprintf("to=%q", to.String())).Inc()
+		s.logf("serve: breaker %s -> %s", from, to)
+	}
 	if err := s.Reload(); err != nil {
 		s.pool.Close()
 		return nil, fmt.Errorf("serve: initial model load: %w", err)
+	}
+	// The decision-tree rung: a trained deploy artifact when configured
+	// (a bad one fails the deploy, like a bad model), otherwise the
+	// built-in heuristic tree over the model's own format set — the
+	// ladder always has a middle rung.
+	if cfg.DTreePath != "" {
+		dt, err := dtree.LoadFile(cfg.DTreePath)
+		if err != nil {
+			s.pool.Close()
+			return nil, fmt.Errorf("serve: dtree rung load: %w", err)
+		}
+		s.dtree = dt
+	} else {
+		s.dtree = dtree.Heuristic(s.model.Load().Cfg.Formats)
 	}
 	s.dispWG.Add(1)
 	go s.dispatch()
@@ -235,14 +302,19 @@ func (s *Server) predictOne(ctx context.Context, m *sparse.COO) (response, error
 	fp := sparse.Fingerprint(m)
 	if pred, gen, ok := s.cache.Get(fp); ok {
 		s.met.cacheHits.Inc()
-		return makeResponse(pred, gen, true), nil
+		// Only CNN-rung answers are ever cached, so a hit reports the
+		// cnn rung.
+		return makeResponse(pred, gen, true, rungCNN), nil
 	}
 	s.met.cacheMisses.Inc()
 
-	j := &job{m: m, fp: fp, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, m: m, fp: fp, done: make(chan jobResult, 1)}
 	select {
 	case s.jobs <- j:
 	default:
+		// Admission control: a full queue sheds immediately (the
+		// handler answers 429 + Retry-After) instead of letting latency
+		// grow without bound under overload.
 		s.met.queueRejects.Inc()
 		return response{}, errOverloaded
 	}
@@ -251,7 +323,7 @@ func (s *Server) predictOne(ctx context.Context, m *sparse.COO) (response, error
 		if res.err != nil {
 			return response{}, res.err
 		}
-		return makeResponse(res.pred, res.gen, false), nil
+		return makeResponse(res.pred, res.gen, false, res.rung), nil
 	case <-ctx.Done():
 		return response{}, ctx.Err()
 	}

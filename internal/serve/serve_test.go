@@ -173,18 +173,28 @@ func TestPredictRejectsBadBodies(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	cases := map[string][]byte{
-		"malformed json":    []byte(`{"rows": 3`),
-		"unknown fields":    []byte(`{"rows":3,"cols":3,"entries":[],"shape":"x"}`),
-		"bad dims":          []byte(`{"rows":0,"cols":3,"entries":[[0,0,1]]}`),
-		"out of range":      []byte(`{"rows":2,"cols":2,"entries":[[5,0,1]]}`),
-		"fractional coords": []byte(`{"rows":4,"cols":4,"entries":[[0.5,1,1]]}`),
-		"oversized":         matrixJSON(64, 8),
+	cases := map[string]struct {
+		body []byte
+		want int
+	}{
+		"malformed json":    {[]byte(`{"rows": 3`), http.StatusBadRequest},
+		"unknown fields":    {[]byte(`{"rows":3,"cols":3,"entries":[],"shape":"x"}`), http.StatusBadRequest},
+		"bad dims":          {[]byte(`{"rows":0,"cols":3,"entries":[[0,0,1]]}`), http.StatusBadRequest},
+		"out of range":      {[]byte(`{"rows":2,"cols":2,"entries":[[5,0,1]]}`), http.StatusBadRequest},
+		"fractional coords": {[]byte(`{"rows":4,"cols":4,"entries":[[0.5,1,1]]}`), http.StatusBadRequest},
+		// Resource-cap violations are 413, distinguishable from malformed
+		// bodies so clients know whether to fix or shrink the request.
+		"oversized body":  {matrixJSON(64, 8), http.StatusRequestEntityTooLarge},
+		"too many rows":   {[]byte(`{"rows":2000000000,"cols":3,"entries":[[0,0,1]]}`), http.StatusRequestEntityTooLarge},
+		"unsupported mm":  {[]byte("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"), http.StatusUnprocessableEntity},
+		"oversized mm":    {[]byte("%%MatrixMarket matrix coordinate real general\n2000000000 2 1\n1 1 1\n"), http.StatusRequestEntityTooLarge},
+		"mm wrong count":  {[]byte("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1\n"), http.StatusBadRequest},
+		"mm out of range": {[]byte("%%MatrixMarket matrix coordinate real general\n3 3 1\n4 1 1\n"), http.StatusBadRequest},
 	}
-	for name, body := range cases {
-		code, _, e := postPredict(t, ts, body, "application/json")
-		if code != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400", name, code)
+	for name, tc := range cases {
+		code, _, e := postPredict(t, ts, tc.body, "application/json")
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d", name, code, tc.want)
 		}
 		if e.Error == "" {
 			t.Errorf("%s: empty error body", name)

@@ -1,0 +1,65 @@
+package sparse
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket drives the resource-governed reader with
+// arbitrary bytes and asserts the ingestion contract: no panic, no
+// hang (the limits bound all work), and every rejection is classified
+// into the typed taxonomy. Accepted streams must produce a matrix that
+// honours the configured caps.
+func FuzzReadMatrixMarket(f *testing.F) {
+	seeds := []string{
+		"",
+		"%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 2.5\n3 3 1e2\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1\n2 1 5\n3 3 2\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n",
+		"%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 -7\n",
+		"%%MatrixMarket matrix coordinate real general\n% comment\n\n3 3 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 1\n",
+		"%%MatrixMarket matrix coordinate real general\n99999999 99999999 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n",
+		"%%MatrixMarket matrix coordinate complex hermitian\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n1 5 2\n1 2 3\n1 5 -1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1" + strings.Repeat("0", 300) + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	lim := Limits{
+		MaxRows:         1 << 12,
+		MaxCols:         1 << 12,
+		MaxNNZ:          1 << 12,
+		MaxLineBytes:    1 << 8,
+		Duplicates:      DupSum,
+		RejectNonFinite: true,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadMatrixMarketLimits(context.Background(), strings.NewReader(string(data)), lim)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrUnsupported) {
+				t.Fatalf("untyped ingestion error: %v", err)
+			}
+			return
+		}
+		rows, cols := c.Dims()
+		if rows <= 0 || cols <= 0 || rows > lim.MaxRows || cols > lim.MaxCols {
+			t.Fatalf("accepted matrix breaks dimension caps: %dx%d", rows, cols)
+		}
+		if c.NNZ() > 2*lim.MaxNNZ { // symmetric expansion at most doubles
+			t.Fatalf("accepted matrix breaks nnz cap: %d", c.NNZ())
+		}
+		for k := range c.Vals {
+			if int(c.Rows[k]) >= rows || int(c.Cols[k]) >= cols || c.Rows[k] < 0 || c.Cols[k] < 0 {
+				t.Fatalf("entry %d out of range: (%d,%d) in %dx%d", k, c.Rows[k], c.Cols[k], rows, cols)
+			}
+		}
+	})
+}

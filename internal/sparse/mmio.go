@@ -2,11 +2,16 @@ package sparse
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/faultinject"
 )
 
 // MatrixMarket I/O for the "coordinate" layout, the interchange format
@@ -14,81 +19,187 @@ import (
 // qualifiers: real/integer/pattern values, general/symmetric/
 // skew-symmetric storage. Pattern entries read as value 1; symmetric
 // files are expanded to full storage on read.
+//
+// Two readers share one parser: ReadMatrixMarket for trusted local
+// files (permissive limits) and ReadMatrixMarketLimits for untrusted
+// streams (caller-set resource budget, context cancellation, typed
+// error taxonomy — see Limits, ErrMalformed, ErrTooLarge,
+// ErrUnsupported).
+
+// ctxCheckEvery is how many data lines the parser reads between
+// context-cancellation polls.
+const ctxCheckEvery = 4096
 
 // ReadMatrixMarket parses a MatrixMarket coordinate stream into
-// canonical COO.
+// canonical COO with the permissive Unlimited budget. The stream must
+// still be internally consistent: an entry count that disagrees with
+// the declared size line is rejected.
 func ReadMatrixMarket(r io.Reader) (*COO, error) {
+	return ReadMatrixMarketLimits(context.Background(), r, Unlimited())
+}
+
+// ReadMatrixMarketLimits is the resource-governed MatrixMarket reader
+// for untrusted input. It enforces the given Limits, polls ctx between
+// line batches so a wedged or malicious stream can be abandoned, and
+// classifies every failure as ErrMalformed, ErrTooLarge or
+// ErrUnsupported (matchable with errors.Is).
+func ReadMatrixMarketLimits(ctx context.Context, r io.Reader, lim Limits) (*COO, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	buf := 64 << 10
+	if buf > lim.MaxLineBytes {
+		buf = lim.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, buf), lim.MaxLineBytes)
+	// scanErr converts the scanner's end state into a typed error: the
+	// token-limit path surfaces as ErrTooLarge instead of the generic
+	// bufio failure.
+	scanErr := func() error {
+		switch err := sc.Err(); {
+		case err == nil:
+			return nil
+		case errors.Is(err, bufio.ErrTooLong):
+			return fmt.Errorf("%w: line exceeds %d bytes", ErrTooLarge, lim.MaxLineBytes)
+		default:
+			return fmt.Errorf("%w: reading stream: %v", ErrMalformed, err)
+		}
+	}
 
 	if !sc.Scan() {
-		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+		if err := scanErr(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: empty MatrixMarket stream", ErrMalformed)
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
 	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
-		return nil, fmt.Errorf("sparse: bad MatrixMarket banner %q", sc.Text())
+		return nil, fmt.Errorf("%w: bad MatrixMarket banner %q", ErrMalformed, sc.Text())
 	}
 	layout, valType, symmetry := header[2], header[3], header[4]
 	if layout != "coordinate" {
-		return nil, fmt.Errorf("sparse: unsupported MatrixMarket layout %q (only coordinate)", layout)
+		return nil, fmt.Errorf("%w: MatrixMarket layout %q (only coordinate)", ErrUnsupported, layout)
 	}
 	switch valType {
 	case "real", "integer", "pattern":
 	default:
-		return nil, fmt.Errorf("sparse: unsupported MatrixMarket value type %q", valType)
+		return nil, fmt.Errorf("%w: MatrixMarket value type %q", ErrUnsupported, valType)
 	}
 	switch symmetry {
 	case "general", "symmetric", "skew-symmetric":
 	default:
-		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", symmetry)
+		return nil, fmt.Errorf("%w: MatrixMarket symmetry %q", ErrUnsupported, symmetry)
 	}
 
 	// Skip comments, read the size line.
 	var rows, cols, nnz int
+	sized := false
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("%w: bad MatrixMarket size line %q", ErrMalformed, line)
 		}
+		var err error
+		if rows, err = parseDim(f[0]); err == nil {
+			if cols, err = parseDim(f[1]); err == nil {
+				nnz, err = parseDim(f[2])
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad MatrixMarket size line %q: %v", ErrMalformed, line, err)
+		}
+		sized = true
 		break
 	}
+	if !sized {
+		if err := scanErr(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: MatrixMarket stream has no size line", ErrMalformed)
+	}
 	if rows <= 0 || cols <= 0 {
-		return nil, fmt.Errorf("sparse: bad MatrixMarket dimensions %dx%d", rows, cols)
+		return nil, fmt.Errorf("%w: bad MatrixMarket dimensions %dx%d", ErrMalformed, rows, cols)
+	}
+	if rows > lim.MaxRows || cols > lim.MaxCols {
+		return nil, fmt.Errorf("%w: %dx%d matrix exceeds %dx%d dimension cap",
+			ErrTooLarge, rows, cols, lim.MaxRows, lim.MaxCols)
+	}
+	if int64(rows) > math.MaxInt64/int64(cols) {
+		return nil, fmt.Errorf("%w: rows*cols overflows for %dx%d", ErrTooLarge, rows, cols)
+	}
+	if nnz > lim.MaxNNZ {
+		return nil, fmt.Errorf("%w: %d declared nonzeros exceed cap %d", ErrTooLarge, nnz, lim.MaxNNZ)
+	}
+	if int64(nnz) > int64(rows)*int64(cols) {
+		return nil, fmt.Errorf("%w: %d declared nonzeros for a %dx%d matrix", ErrMalformed, nnz, rows, cols)
 	}
 
-	entries := make([]Entry, 0, nnz)
+	entries := make([]Entry, 0, minInt(nnz, 1<<20))
+	var seen map[[2]int32]struct{}
+	if lim.Duplicates == DupReject {
+		seen = make(map[[2]int32]struct{}, minInt(nnz, 1<<20))
+	}
 	read := 0
-	for read < nnz && sc.Scan() {
+	sinceCheck := 0
+	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
+		if sinceCheck++; sinceCheck >= ctxCheckEvery {
+			sinceCheck = 0
+			if err := faultinject.InjectCtx(ctx, faultinject.PointParseStall); err != nil {
+				return nil, fmt.Errorf("sparse: reading MatrixMarket: %w", err)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sparse: reading MatrixMarket: %w", err)
+			}
+		}
+		// The declared-size line is a contract, not a hint: entries past
+		// the declared count mean the stream and its header disagree.
+		if read >= nnz {
+			return nil, fmt.Errorf("%w: stream has more entries than the declared %d", ErrMalformed, nnz)
+		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", line)
+			return nil, fmt.Errorf("%w: bad MatrixMarket entry %q", ErrMalformed, line)
 		}
 		i, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("sparse: bad row index in %q: %w", line, err)
+			return nil, fmt.Errorf("%w: bad row index in %q: %v", ErrMalformed, line, err)
 		}
 		j, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("sparse: bad col index in %q: %w", line, err)
+			return nil, fmt.Errorf("%w: bad col index in %q: %v", ErrMalformed, line, err)
+		}
+		// MatrixMarket is 1-based.
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) out of range for %dx%d matrix",
+				ErrMalformed, i, j, rows, cols)
 		}
 		v := 1.0
 		if valType != "pattern" {
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("sparse: missing value in %q", line)
+				return nil, fmt.Errorf("%w: missing value in %q", ErrMalformed, line)
 			}
 			v, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("sparse: bad value in %q: %w", line, err)
+				return nil, fmt.Errorf("%w: bad value in %q: %v", ErrMalformed, line, err)
+			}
+			if lim.RejectNonFinite && (math.IsNaN(v) || math.IsInf(v, 0)) {
+				return nil, fmt.Errorf("%w: non-finite value in %q", ErrMalformed, line)
 			}
 		}
-		// MatrixMarket is 1-based.
+		if seen != nil {
+			key := [2]int32{int32(i - 1), int32(j - 1)}
+			if _, dup := seen[key]; dup {
+				return nil, fmt.Errorf("%w: duplicate entry (%d,%d)", ErrMalformed, i, j)
+			}
+			seen[key] = struct{}{}
+		}
 		e := Entry{Row: i - 1, Col: j - 1, Val: v}
 		entries = append(entries, e)
 		if symmetry != "general" && e.Row != e.Col {
@@ -100,13 +211,37 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 		}
 		read++
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sparse: reading MatrixMarket: %w", err)
+	if err := scanErr(); err != nil {
+		return nil, err
 	}
 	if read < nnz {
-		return nil, fmt.Errorf("sparse: MatrixMarket stream truncated: got %d of %d entries", read, nnz)
+		return nil, fmt.Errorf("%w: stream truncated: got %d of %d declared entries", ErrMalformed, read, nnz)
 	}
-	return NewCOO(rows, cols, entries)
+	c, err := NewCOO(rows, cols, entries)
+	if err != nil {
+		// Unreachable with the pre-validation above, but keep the class.
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return c, nil
+}
+
+// parseDim parses a non-negative size-line integer.
+func parseDim(s string) (int, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > unlimitedSide {
+		return 0, fmt.Errorf("size %d out of range", n)
+	}
+	return int(n), nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // ReadMatrixMarketFile reads a .mtx file from disk.

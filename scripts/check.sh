@@ -13,6 +13,13 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./scripts/servesmoke
+
+# Fuzz smoke: a short native-fuzzing budget per hardened ingestion
+# surface. A clean run means no panic and no typed-error-taxonomy
+# violation found within the budget; regressions crash the script.
+go test -run='^$' -fuzz='^FuzzReadMatrixMarket$' -fuzztime=10s ./internal/sparse
+go test -run='^$' -fuzz='^FuzzPredictJSON$' -fuzztime=10s ./internal/serve
+
 if [[ "${SHORT:-0}" == "1" ]]; then
     go test -race -timeout 45m ./internal/...
 else

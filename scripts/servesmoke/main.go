@@ -13,7 +13,11 @@
 //  6. runs cmd/predict in -server client mode against the live server,
 //  7. checks cmd/predict -fallback exits non-zero when the model fails
 //     to load while still printing the CSR baseline,
-//  8. SIGTERMs the server and requires a clean drain.
+//  8. runs the degraded-mode drill: a second server loses its model
+//     artifact, repeated SIGHUP reloads are rejected and trip the
+//     circuit breaker, and the decision-tree rung keeps answering
+//     (rung visible in the response and /metrics),
+//  9. SIGTERMs the servers and requires clean drains.
 //
 // It exits 0 only if every step passes.
 package main
@@ -186,20 +190,94 @@ func run() error {
 		return fmt.Errorf("predict -fallback did not print the baseline:\n%s", out)
 	}
 
-	// 8. Graceful drain on SIGTERM.
-	step("checking graceful shutdown")
-	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+	// 8. Degraded-mode drill: a second server loses its model artifact.
+	// Each SIGHUP reload is rejected (the file is gone), consecutive
+	// rejections trip the breaker, and the decision-tree rung answers —
+	// the cooldown is long enough that no half-open probe can sneak the
+	// CNN back mid-assertion.
+	step("degraded-mode drill: killing the model artifact")
+	model2 := filepath.Join(dir, "model2.gob")
+	if err := res.Selector.SaveFile(model2); err != nil {
 		return err
 	}
-	done := make(chan error, 1)
-	go func() { done <- srv.Wait() }()
-	select {
-	case err := <-done:
-		if err != nil {
-			return fmt.Errorf("server exited uncleanly after SIGTERM: %v", err)
+	srv2 := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-model", model2,
+		"-watch", "0", "-cache", "0", "-breaker-threshold", "3", "-breaker-cooldown", "5m")
+	srv2.Stderr = os.Stderr
+	stdout2, err := srv2.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := srv2.Start(); err != nil {
+		return err
+	}
+	defer srv2.Process.Kill()
+	base2, err := scrapeAddr(stdout2)
+	if err != nil {
+		return err
+	}
+	if err := waitReady(base2 + "/readyz"); err != nil {
+		return err
+	}
+	r, err := postPredictFull(base2, "application/json", jsonBody)
+	if err != nil {
+		return err
+	}
+	if r.Rung != "cnn" || r.FellBack {
+		return fmt.Errorf("healthy drill server answered rung=%q fell_back=%v, want cnn", r.Rung, r.FellBack)
+	}
+	if err := os.Remove(model2); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := srv2.Process.Signal(syscall.SIGHUP); err != nil {
+			return err
 		}
-	case <-time.After(15 * time.Second):
-		return fmt.Errorf("server did not drain within 15s of SIGTERM")
+		want := fmt.Sprintf("serve_model_reload_failures_total %d", i+1)
+		if err := waitFor(10*time.Second, func() (bool, error) {
+			page, err := get(base2 + "/metrics")
+			if err != nil {
+				return false, nil
+			}
+			return strings.Contains(page, want), nil
+		}); err != nil {
+			return fmt.Errorf("reload failure %d never surfaced in /metrics: %w", i+1, err)
+		}
+	}
+	r, err = postPredictFull(base2, "application/json", jsonBody)
+	if err != nil {
+		return err
+	}
+	if r.Rung != "dtree" || !r.FellBack {
+		return fmt.Errorf("degraded server answered rung=%q fell_back=%v, want dtree fallback", r.Rung, r.FellBack)
+	}
+	fmt.Printf("servesmoke: degraded prediction %s from rung %s\n", r.Format, r.Rung)
+	page, err = get(base2 + "/metrics")
+	if err != nil {
+		return err
+	}
+	if !regexp.MustCompile(`(?m)^serve_rung_total\{rung="dtree"\} [1-9]`).MatchString(page) {
+		return fmt.Errorf("/metrics does not count the dtree rung:\n%s", page)
+	}
+	if !strings.Contains(page, "serve_breaker_state 1") {
+		return fmt.Errorf("/metrics does not show the breaker open")
+	}
+
+	// 9. Graceful drains on SIGTERM.
+	step("checking graceful shutdown")
+	for name, proc := range map[string]*exec.Cmd{"server": srv, "drill server": srv2} {
+		if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- proc.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("%s exited uncleanly after SIGTERM: %v", name, err)
+			}
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("%s did not drain within 15s of SIGTERM", name)
+		}
 	}
 	return nil
 }
@@ -285,25 +363,39 @@ func get(url string) (string, error) {
 	return string(b), err
 }
 
-// postPredict sends one prediction request and returns (format, cached).
-func postPredict(base, contentType, body string) (string, bool, error) {
+// predictResult is the subset of the predict response the smoke needs.
+type predictResult struct {
+	Format   string `json:"format"`
+	FellBack bool   `json:"fell_back"`
+	Reason   string `json:"reason"`
+	Cached   bool   `json:"cached"`
+	Rung     string `json:"rung"`
+}
+
+// postPredictFull sends one prediction request, expecting 200.
+func postPredictFull(base, contentType, body string) (predictResult, error) {
+	var r predictResult
 	resp, err := http.Post(base+"/v1/predict", contentType, strings.NewReader(body))
 	if err != nil {
-		return "", false, err
+		return r, err
 	}
 	defer resp.Body.Close()
 	data, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return "", false, fmt.Errorf("predict returned %s: %s", resp.Status, data)
-	}
-	var r struct {
-		Format   string `json:"format"`
-		FellBack bool   `json:"fell_back"`
-		Reason   string `json:"reason"`
-		Cached   bool   `json:"cached"`
+		return r, fmt.Errorf("predict returned %s: %s", resp.Status, data)
 	}
 	if err := json.Unmarshal(data, &r); err != nil {
-		return "", false, fmt.Errorf("bad response %q: %v", data, err)
+		return r, fmt.Errorf("bad response %q: %v", data, err)
+	}
+	return r, nil
+}
+
+// postPredict is postPredictFull for steps that require a healthy
+// (non-fallback) answer: it returns (format, cached).
+func postPredict(base, contentType, body string) (string, bool, error) {
+	r, err := postPredictFull(base, contentType, body)
+	if err != nil {
+		return "", false, err
 	}
 	if r.FellBack {
 		return "", false, fmt.Errorf("prediction fell back: %s", r.Reason)
