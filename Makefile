@@ -30,5 +30,23 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadMatrixMarket$$' -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzPredictJSON$$' -fuzztime=$(FUZZTIME) ./internal/serve
 
+# bench runs every benchmark in the module (the per-paper-table harness
+# at the root plus the per-package hot-path benchmarks) and converts
+# the output into BENCH.json for artifact upload and regression gating.
+# benchgate compares BENCH.json against the committed fixed-seed
+# baseline and fails on >25% ns/op regressions on guarded hot paths.
+# The guarded hot paths get extra -count=3 samples; benchjson keeps the
+# fastest run per benchmark, and min-of-N is what makes a 25% gate
+# threshold hold on noisy shared runners.
+BENCHTIME ?= 200ms
+GUARDED_PKGS = ./internal/spmv ./internal/tensor ./internal/represent ./internal/serve
+GUARDED_BENCH = 'KernelMul|MatMul|Normalize|Predict'
 bench:
-	$(GO) test -bench=. -benchtime=200ms -run=^$$ .
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run=^$$ ./... > BENCH.txt || { cat BENCH.txt; exit 1; }
+	$(GO) test -bench=$(GUARDED_BENCH) -benchtime=$(BENCHTIME) -count=3 -run=^$$ $(GUARDED_PKGS) >> BENCH.txt || { cat BENCH.txt; exit 1; }
+	cat BENCH.txt
+	$(GO) run ./scripts/benchjson -o BENCH.json < BENCH.txt
+
+.PHONY: benchgate
+benchgate:
+	$(GO) run ./scripts/benchgate -baseline BENCH_baseline.json -current BENCH.json

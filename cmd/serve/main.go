@@ -8,6 +8,13 @@
 // Market body), GET /healthz, GET /readyz, GET /metrics (Prometheus
 // text format).
 //
+// Observability: every predict response carries an X-Trace-Id header;
+// ?trace=1 returns the per-stage span breakdown in the body.
+// -admin-addr starts a second listener with the operational surfaces —
+// GET /metrics, GET /debug/traces (recent request traces) and the
+// net/http/pprof profiles under GET /debug/pprof/ — kept off the
+// client-facing port.
+//
 // Operations: SIGHUP hot-reloads the model file, as does overwriting
 // it in place when -watch is enabled (the default; the new artifact is
 // validated before the swap, so a corrupt file is rejected and the old
@@ -44,6 +51,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	adminAddr := flag.String("admin-addr", "", "admin listen address for /metrics, /debug/pprof/ and /debug/traces (empty disables)")
 	model := flag.String("model", "model.gob", "trained model file (selector envelope)")
 	batch := flag.Int("batch", 16, "max prediction jobs per micro-batch")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long a batch waits to fill")
@@ -101,6 +109,25 @@ func main() {
 		go s.WatchModel(ctx, *watch)
 	}
 
+	// The admin listener is a second, separately bound server: metrics
+	// scrapes, pprof profiles and trace dumps never contend with (or
+	// leak onto) the traffic port.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: admin listener:", err)
+			os.Exit(1)
+		}
+		adminSrv = &http.Server{Handler: s.AdminHandler(), ReadHeaderTimeout: 10 * time.Second}
+		fmt.Printf("serve: admin listening on http://%s\n", aln.Addr())
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "serve: admin:", err)
+			}
+		}()
+	}
+
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -117,6 +144,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve: draining...")
 		sctx, scancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer scancel()
+		if adminSrv != nil {
+			adminSrv.Shutdown(sctx)
+		}
 		done <- s.Shutdown(sctx)
 	}()
 

@@ -10,6 +10,15 @@
 //	train -platform xeonlike -count 800 -epochs 40 -out model.gob
 //	train -checkpoint-dir ckpt -epochs 40 -out model.gob   # interrupted...
 //	train -checkpoint-dir ckpt -epochs 40 -out model.gob -resume
+//
+// Telemetry: -telemetry appends one JSON object per epoch (loss,
+// training accuracy, gradient norm, learning rate, divergence
+// retries, epoch and checkpoint wall-clock) to a JSONL file, and
+// -metrics-addr serves the same statistics live as train_* gauges
+// plus pprof, so a long run can be scraped or profiled mid-flight:
+//
+//	train -count 800 -epochs 40 -out model.gob \
+//	    -telemetry train.jsonl -metrics-addr 127.0.0.1:6061
 package main
 
 import (
@@ -17,13 +26,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dtree"
 	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/represent"
 )
 
@@ -43,6 +58,8 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic training checkpoints")
 	ckptEvery := flag.Int("checkpoint-every", 5, "checkpoint period in epochs")
 	resume := flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir")
+	telemetryPath := flag.String("telemetry", "", "per-epoch JSONL telemetry file (loss, accuracy, grad norm, timings; empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live training metrics and pprof on this address while the run is active (empty disables)")
 	flag.Parse()
 
 	var kind represent.Kind
@@ -67,11 +84,60 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Training telemetry: per-epoch JSONL (when -telemetry names a file)
+	// and a live metrics registry, optionally scrapeable over HTTP while
+	// the run is active (-metrics-addr). Both feed off the same epoch
+	// hook, so a headless run costs nothing.
+	var epochHook func(nn.EpochStats)
+	if *telemetryPath != "" || *metricsAddr != "" {
+		var sink io.Writer
+		if *telemetryPath != "" {
+			f, err := os.Create(*telemetryPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "train: telemetry:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			sink = f
+		}
+		reg := obs.NewRegistry()
+		obs.RuntimeGauges(reg)
+		tel := obs.NewTrainingTelemetry(reg, sink)
+		epochHook = func(st nn.EpochStats) {
+			tel.OnEpoch(obs.EpochEvent{
+				Epoch:             st.Epoch,
+				Loss:              st.Loss,
+				Accuracy:          st.Accuracy,
+				GradNorm:          st.GradNorm,
+				LR:                st.LR,
+				Retries:           st.Retries,
+				EpochSeconds:      st.Duration.Seconds(),
+				Checkpointed:      st.Checkpointed,
+				CheckpointSeconds: st.CheckpointDuration.Seconds(),
+			})
+		}
+		if *metricsAddr != "" {
+			ln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "train: metrics listener:", err)
+				os.Exit(1)
+			}
+			srv := &http.Server{
+				Handler:           obs.AdminHandler(obs.AdminConfig{Registry: reg, PProf: true}),
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			fmt.Printf("train: metrics on http://%s/metrics\n", ln.Addr())
+			go srv.Serve(ln)
+			defer srv.Close()
+		}
+	}
+
 	res, err := core.TrainCtx(ctx, core.Options{
 		Platform: *platform, Count: *count, MaxN: *maxN,
 		Representation: kind, RepSize: *repSize, RepBins: *repBins,
 		Epochs: *epochs, Seed: *seed, WallClock: *wall, Log: os.Stdout,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
+		EpochHook: epochHook,
 	})
 	if errors.Is(err, context.Canceled) {
 		if *ckptDir != "" {

@@ -58,6 +58,11 @@ type Options struct {
 	// the interrupted run. When the directory holds no checkpoint yet,
 	// the run starts from scratch.
 	Resume bool
+	// EpochHook, when set, observes every successfully completed
+	// training epoch with its statistics — the attachment point for
+	// training telemetry (cmd/train wires it to the obs layer). It runs
+	// on the training goroutine.
+	EpochHook func(nn.EpochStats)
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -179,6 +184,10 @@ func TrainCtx(ctx context.Context, o Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	if o.EpochHook != nil {
+		s.SetEpochHook(o.EpochHook)
 	}
 
 	trainIdx, testIdx := d.Split(o.TestFraction, o.Seed+7)

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// TestTrainingTelemetryLiveScrape drives the full telemetry chain the
+// way cmd/train wires it: core.TrainCtx → selector → nn.Run PostEpoch →
+// obs.TrainingTelemetry → a live /metrics endpoint — and scrapes that
+// endpoint from inside the epoch hook, i.e. strictly mid-training,
+// which is the `train -metrics-addr` contract.
+func TestTrainingTelemetryLiveScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	var jsonl bytes.Buffer
+	tel := obs.NewTrainingTelemetry(reg, &jsonl)
+
+	ts := httptest.NewServer(obs.AdminHandler(obs.AdminConfig{Registry: reg}))
+	defer ts.Close()
+
+	const epochs = 3
+	var midScrape string
+	hook := func(st nn.EpochStats) {
+		tel.OnEpoch(obs.EpochEvent{
+			Epoch: st.Epoch, Loss: st.Loss, Accuracy: st.Accuracy,
+			GradNorm: st.GradNorm, LR: st.LR, Retries: st.Retries,
+			EpochSeconds: st.Duration.Seconds(),
+			Checkpointed: st.Checkpointed, CheckpointSeconds: st.CheckpointDuration.Seconds(),
+		})
+		if st.Epoch == 2 {
+			// Mid-training by construction: epoch 2 of 3 has completed,
+			// the run is still going.
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Errorf("mid-training scrape: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			midScrape = string(body)
+		}
+	}
+
+	res, err := TrainCtx(context.Background(), Options{
+		Count: 40, MaxN: 64, Epochs: epochs, Seed: 3,
+		RepSize: 8, RepBins: 4, Workers: 2,
+		EpochHook: hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("training did not complete")
+	}
+
+	if midScrape == "" {
+		t.Fatal("epoch hook never scraped mid-training")
+	}
+	for _, want := range []string{"train_epoch 2", "train_epochs_total 2", "train_loss"} {
+		if !strings.Contains(midScrape, want) {
+			t.Errorf("mid-training scrape missing %q in:\n%s", want, midScrape)
+		}
+	}
+
+	// The JSONL stream holds one well-formed event per completed epoch,
+	// with the trainer's real statistics filled in.
+	var events []obs.EpochEvent
+	sc := bufio.NewScanner(&jsonl)
+	for sc.Scan() {
+		var ev obs.EpochEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != epochs {
+		t.Fatalf("got %d telemetry events, want %d", len(events), epochs)
+	}
+	for i, ev := range events {
+		if ev.Epoch != i+1 {
+			t.Errorf("event %d has epoch %d", i, ev.Epoch)
+		}
+		if ev.GradNorm <= 0 {
+			t.Errorf("epoch %d missing grad norm", ev.Epoch)
+		}
+		if ev.EpochSeconds <= 0 {
+			t.Errorf("epoch %d missing wall-clock", ev.Epoch)
+		}
+		if ev.Accuracy < 0 || ev.Accuracy > 1 {
+			t.Errorf("epoch %d accuracy %g out of range", ev.Epoch, ev.Accuracy)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // ErrDiverged reports that training kept producing non-finite losses or
@@ -310,6 +311,34 @@ type RunOpts struct {
 	// PreEpoch, when set, runs before each epoch with the epoch index —
 	// the hook for learning-rate schedules.
 	PreEpoch func(epoch int)
+	// PostEpoch, when set, runs after every successfully completed epoch
+	// with that epoch's statistics — the hook for training telemetry
+	// (JSONL emission, live metrics). It runs on the training goroutine;
+	// slow hooks slow training.
+	PostEpoch func(EpochStats)
+}
+
+// EpochStats is one completed epoch's telemetry, delivered through
+// RunOpts.PostEpoch.
+type EpochStats struct {
+	// Epoch is the completed-epoch count (1-based).
+	Epoch int
+	// Loss is the mean per-sample training loss.
+	Loss float64
+	// Accuracy is the training accuracy over the epoch's forward passes.
+	Accuracy float64
+	// GradNorm is the gradient L2 norm of the epoch's last batch.
+	GradNorm float64
+	// LR is the learning rate the epoch ran with.
+	LR float64
+	// Retries is the cumulative divergence-recovery count for the run.
+	Retries int
+	// Duration is the epoch wall-clock (excluding checkpointing).
+	Duration time.Duration
+	// Checkpointed reports whether the epoch flushed a checkpoint, and
+	// CheckpointDuration how long the flush took.
+	Checkpointed       bool
+	CheckpointDuration time.Duration
 }
 
 // Run is the fault-tolerant training loop. Each completed epoch becomes
@@ -343,6 +372,7 @@ func (t *Trainer) Run(ctx context.Context, samples []Sample, o RunOpts) ([]float
 	lastLoss := math.NaN()
 	lastGood := t.snapshotState()
 	retries := 0
+	totalRetries := 0
 	for t.Epoch < o.Epochs {
 		if err := ctx.Err(); err != nil {
 			if ferr := flush(lastLoss); ferr != nil {
@@ -353,20 +383,40 @@ func (t *Trainer) Run(ctx context.Context, samples []Sample, o RunOpts) ([]float
 		if o.PreEpoch != nil {
 			o.PreEpoch(t.Epoch)
 		}
+		epochStart := time.Now()
 		loss, err := t.TrainEpochCtx(ctx, samples)
 		switch {
 		case err == nil:
+			epochDur := time.Since(epochStart)
 			losses = append(losses, loss)
 			lastLoss = loss
 			retries = 0
 			lastGood = t.snapshotState()
+			var ckpted bool
+			var ckptDur time.Duration
 			if cp != nil && cp.ShouldSave(t.Epoch) {
+				ckptStart := time.Now()
 				if ferr := flush(loss); ferr != nil {
 					return losses, ferr
 				}
+				ckpted, ckptDur = true, time.Since(ckptStart)
+			}
+			if o.PostEpoch != nil {
+				o.PostEpoch(EpochStats{
+					Epoch:              t.Epoch,
+					Loss:               loss,
+					Accuracy:           t.EpochAccuracy(),
+					GradNorm:           t.lastGradNorm,
+					LR:                 currentLR(t.Opt),
+					Retries:            totalRetries,
+					Duration:           epochDur,
+					Checkpointed:       ckpted,
+					CheckpointDuration: ckptDur,
+				})
 			}
 		case errors.Is(err, ErrNonFinite):
 			retries++
+			totalRetries++
 			if retries > o.MaxRetries {
 				// Leave the model at the last good state, not the
 				// divergent one.

@@ -53,6 +53,15 @@ type Trainer struct {
 	LossHook func(loss float64) float64
 
 	replicas []*Model
+
+	// Telemetry accumulators, maintained by trainBatch/TrainEpochCtx and
+	// reported through Run's PostEpoch hook. lastGradNorm is the L2 norm
+	// of the most recent batch gradient; epochHits/epochSeen count
+	// training-forward-pass argmax hits over the current epoch, giving a
+	// free training-accuracy signal without a second inference sweep.
+	lastGradNorm float64
+	epochHits    int
+	epochSeen    int
 }
 
 // NewTrainer builds a trainer with the given batch size.
@@ -107,6 +116,7 @@ func (t *Trainer) trainBatch(batch []Sample) (float64, error) {
 	t.ensureReplicas(w)
 	t.Model.ZeroGrads()
 	losses := make([]float64, w)
+	hits := make([]int, w)
 	chunk := (len(batch) + w - 1) / w
 	if err := robust.Workers(w, func(wi int) error {
 		lo := wi * chunk
@@ -124,6 +134,9 @@ func (t *Trainer) trainBatch(batch []Sample) (float64, error) {
 			logits := rep.Forward(s.Inputs, true)
 			loss, grad := CrossEntropyLoss(logits, s.Label)
 			sum += loss
+			if logits.ArgMax() == s.Label {
+				hits[wi]++
+			}
 			rep.Backward(grad)
 		}
 		losses[wi] = sum
@@ -148,6 +161,7 @@ func (t *Trainer) trainBatch(batch []Sample) (float64, error) {
 	}
 	// Divergence gate: refuse to step on garbage.
 	norm := gradNorm(master)
+	t.lastGradNorm = norm
 	if math.IsNaN(total) || math.IsInf(total, 0) || math.IsNaN(norm) || math.IsInf(norm, 0) {
 		return total, fmt.Errorf("%w: batch loss %v, grad norm %v", ErrNonFinite, total, norm)
 	}
@@ -155,6 +169,10 @@ func (t *Trainer) trainBatch(batch []Sample) (float64, error) {
 		return total, fmt.Errorf("%w: grad norm %.4g exceeds limit %.4g", ErrNonFinite, norm, t.MaxGradNorm)
 	}
 	t.Opt.Step(master, len(batch))
+	for _, h := range hits {
+		t.epochHits += h
+	}
+	t.epochSeen += len(batch)
 	return total, nil
 }
 
@@ -180,6 +198,7 @@ func (t *Trainer) TrainEpoch(samples []Sample) (float64, error) {
 // state. The shuffle order depends only on (Seed, Epoch), so a resumed
 // trainer reproduces the interrupted run.
 func (t *Trainer) TrainEpochCtx(ctx context.Context, samples []Sample) (float64, error) {
+	t.epochHits, t.epochSeen = 0, 0
 	if len(samples) == 0 {
 		t.Epoch++
 		return 0, nil
@@ -208,6 +227,19 @@ func (t *Trainer) TrainEpochCtx(ctx context.Context, samples []Sample) (float64,
 	t.Epoch++
 	return total / float64(len(samples)), nil
 }
+
+// EpochAccuracy returns the training accuracy accumulated over the
+// current (or just-completed) epoch's forward passes — hits over
+// samples seen, zero before any batch completes.
+func (t *Trainer) EpochAccuracy() float64 {
+	if t.epochSeen == 0 {
+		return 0
+	}
+	return float64(t.epochHits) / float64(t.epochSeen)
+}
+
+// LastGradNorm returns the L2 gradient norm of the most recent batch.
+func (t *Trainer) LastGradNorm() float64 { return t.lastGradNorm }
 
 // TrainSteps runs exactly n minibatch steps (sampling batches with
 // replacement) and returns the per-step mean losses — the loss curves

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The admin surface: a separate HTTP handler exposing /metrics, the
+// trace ring and (opt-in) net/http/pprof. It is meant for a second,
+// non-public listener (`serve -admin-addr`, `train -metrics-addr`) so
+// profiling and introspection never ride the traffic port — pprof on a
+// public listener is an information leak and a DoS lever.
+
+// AdminConfig selects what the admin handler exposes.
+type AdminConfig struct {
+	// Registry backs /metrics (required).
+	Registry *Registry
+	// Traces backs /debug/traces (nil omits the endpoint).
+	Traces *TraceLog
+	// PProf mounts net/http/pprof under /debug/pprof/ when true.
+	PProf bool
+}
+
+// AdminHandler builds the admin mux:
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /debug/traces   recent request traces, newest first (JSON)
+//	GET /debug/pprof/   full pprof index (profile, heap, goroutine, …)
+//	GET /healthz        liveness probe for the admin listener itself
+func AdminHandler(cfg AdminConfig) http.Handler {
+	mux := http.NewServeMux()
+	if cfg.Registry != nil {
+		mux.Handle("/metrics", cfg.Registry.Handler())
+	}
+	if cfg.Traces != nil {
+		mux.Handle("/debug/traces", cfg.Traces.Handler())
+	}
+	if cfg.PProf {
+		// net/http/pprof only self-registers on DefaultServeMux; mount
+		// its handlers explicitly so the admin mux stays isolated.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// memStatsCache rate-limits runtime.ReadMemStats: it stops the world,
+// so a scrape storm must not turn the metrics endpoint into a GC
+// hazard. All runtime gauges registered by RuntimeGauges share one
+// cache with a 1-second TTL.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > time.Second {
+		runtime.ReadMemStats(&c.stat)
+		c.at = time.Now()
+	}
+	return c.stat
+}
+
+// RuntimeGauges registers process runtime stats on r as scrape-time
+// gauges: goroutine count, heap bytes, GC cycle count, cumulative GC
+// pause seconds and the last GC pause. Idempotent per registry.
+func RuntimeGauges(r *Registry) {
+	cache := &memStatsCache{}
+	r.GaugeFunc("process_goroutines", "Current goroutine count.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("process_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(cache.get().HeapAlloc)
+	})
+	r.GaugeFunc("process_heap_sys_bytes", "Bytes of heap obtained from the OS.", func() float64 {
+		return float64(cache.get().HeapSys)
+	})
+	r.GaugeFunc("process_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		return float64(cache.get().NumGC)
+	})
+	r.GaugeFunc("process_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", func() float64 {
+		return float64(cache.get().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("process_gc_last_pause_seconds", "Most recent GC stop-the-world pause.", func() float64 {
+		ms := cache.get()
+		if ms.NumGC == 0 {
+			return 0
+		}
+		return float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	})
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func adminGet(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminHandlerSurface(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("widgets_total", "Widgets.").Add(7)
+	RuntimeGauges(r)
+	l := NewTraceLog(16)
+	l.Finish(NewTrace(), "200")
+
+	ts := httptest.NewServer(AdminHandler(AdminConfig{Registry: r, Traces: l, PProf: true}))
+	defer ts.Close()
+
+	if code, body := adminGet(t, ts, "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "widgets_total 7") ||
+		!strings.Contains(body, "process_goroutines") ||
+		!strings.Contains(body, "process_heap_alloc_bytes") ||
+		!strings.Contains(body, "process_gc_pause_seconds_total") {
+		t.Fatalf("/metrics: code %d body:\n%s", code, body)
+	}
+	if code, body := adminGet(t, ts, "/debug/traces"); code != http.StatusOK || !strings.Contains(body, `"traces"`) {
+		t.Fatalf("/debug/traces: code %d body %s", code, body)
+	}
+	// The pprof index must answer on the admin mux (it self-registers
+	// only on DefaultServeMux, so this catches a lost explicit mount).
+	if code, body := adminGet(t, ts, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code %d body %.200s", code, body)
+	}
+	if code, _ := adminGet(t, ts, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz: code %d", code)
+	}
+}
+
+func TestAdminHandlerOmitsPProfByDefault(t *testing.T) {
+	ts := httptest.NewServer(AdminHandler(AdminConfig{Registry: NewRegistry()}))
+	defer ts.Close()
+	if code, _ := adminGet(t, ts, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof mounted without opt-in: code %d", code)
+	}
+}

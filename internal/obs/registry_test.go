@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.")
+	g := r.Gauge("temperature", "Degrees.")
+	c.Add(41)
+	c.Inc()
+	g.Set(3.5)
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Requests.",
+		"# TYPE requests_total counter",
+		"requests_total 42",
+		"# TYPE temperature gauge",
+		"temperature 3.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(2.5)
+	g.Add(-0.5)
+	if v := g.Value(); v != 12 {
+		t.Fatalf("gauge value %g, want 12", v)
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.")
+	b := r.Counter("x_total", "X.")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	h.write(&b, "x", "")
+	out := b.String()
+	for _, want := range []string{
+		`x_bucket{le="1"} 1`,
+		`x_bucket{le="10"} 2`,
+		`x_bucket{le="100"} 3`,
+		`x_bucket{le="+Inf"} 4`,
+		"x_count{} 4",
+		"x_sum{} 555.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8, 16})
+	// 100 samples uniform in (0,1]: every quantile interpolates inside
+	// the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if p := h.Quantile(0.5); p <= 0 || p > 1 {
+		t.Fatalf("p50 %g outside first bucket", p)
+	}
+	// Add 100 samples in (8,16]: the p99 must move to the top bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(12)
+	}
+	if p := h.Quantile(0.99); p <= 8 || p > 16 {
+		t.Fatalf("p99 %g, want in (8,16]", p)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 200 {
+		t.Fatalf("snapshot count %d, want 200", snap.Count)
+	}
+	if snap.P50 > snap.P90 || snap.P90 > snap.P99 {
+		t.Fatalf("quantiles not monotone: %+v", snap)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := newHistogram([]float64{1})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestVecRenderSorted(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("hits_total", "Hits.")
+	cv.With(`path="/b"`).Inc()
+	cv.With(`path="/a"`).Add(2)
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	ia := strings.Index(out, `hits_total{path="/a"} 2`)
+	ib := strings.Index(out, `hits_total{path="/b"} 1`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("labeled series missing or unsorted:\n%s", out)
+	}
+}
+
+// TestRegistryConcurrent is the -race hammer: concurrent registration,
+// increments, observations and scrapes must be free of data races and
+// must not lose counted events.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "Ops.")
+	g := r.Gauge("level", "Level.")
+	h := r.Histogram("latency_seconds", "Latency.", DefLatencyBuckets())
+	cv := r.CounterVec("coded_total", "By code.")
+	hv := r.HistogramVec("staged_seconds", "By stage.", []float64{0.01, 0.1, 1})
+
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+				cv.With(fmt.Sprintf("code=%q", []string{"200", "400", "500"}[i%3])).Inc()
+				hv.With(`stage="parse"`).Observe(0.05)
+				if i%100 == 0 {
+					// Concurrent scrape + re-registration.
+					var b strings.Builder
+					r.WriteTo(&b)
+					r.Counter("ops_total", "Ops.")
+					h.Snapshot()
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+
+	const want = goroutines * perG
+	if c.Value() != want {
+		t.Fatalf("counter lost increments: %d, want %d", c.Value(), want)
+	}
+	if g.Value() != want {
+		t.Fatalf("gauge lost adds: %g, want %d", g.Value(), want)
+	}
+	if h.Count() != want {
+		t.Fatalf("histogram lost observations: %d, want %d", h.Count(), want)
+	}
+	if got := h.Sum(); math.Abs(got-want*0.001) > 1e-6 {
+		t.Fatalf("atomic float sum drifted: %g", got)
+	}
+	var total uint64
+	for _, e := range cv.Snapshot() {
+		total += e.Value
+	}
+	if total != want {
+		t.Fatalf("labeled counter lost increments: %d, want %d", total, want)
+	}
+}

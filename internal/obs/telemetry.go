@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Training telemetry: per-epoch structured events emitted as JSONL (one
+// self-contained JSON object per line, greppable and ingestible by any
+// log pipeline) and mirrored into a metrics Registry so a live training
+// run can be scraped over HTTP (`train -metrics-addr`). The trainer
+// side stays dependency-light: it only fills an EpochEvent and calls
+// OnEpoch.
+
+// EpochEvent is one completed training epoch.
+type EpochEvent struct {
+	// Time is the event wall-clock in RFC3339Nano.
+	Time string `json:"time"`
+	// Epoch is the completed-epoch count (1-based: the first finished
+	// epoch reports 1).
+	Epoch int `json:"epoch"`
+	// Loss is the mean per-sample training loss of the epoch.
+	Loss float64 `json:"loss"`
+	// Accuracy is the training accuracy over the epoch's forward passes
+	// (free to compute; held-out accuracy is still the evaluation story).
+	Accuracy float64 `json:"accuracy"`
+	// GradNorm is the L2 gradient norm of the epoch's last batch.
+	GradNorm float64 `json:"grad_norm"`
+	// LR is the learning rate in effect during the epoch.
+	LR float64 `json:"lr"`
+	// Retries is the number of divergence recoveries consumed so far in
+	// the run (rollback + LR backoff events).
+	Retries int `json:"retries"`
+	// EpochSeconds is the epoch wall-clock.
+	EpochSeconds float64 `json:"epoch_seconds"`
+	// Checkpointed reports whether this epoch flushed a checkpoint;
+	// CheckpointSeconds is how long the flush took.
+	Checkpointed      bool    `json:"checkpointed"`
+	CheckpointSeconds float64 `json:"checkpoint_seconds,omitempty"`
+}
+
+// TrainingTelemetry fans one epoch event out to a JSONL stream and a
+// metrics registry. Safe for use from the training goroutine while an
+// HTTP scrape reads the registry.
+type TrainingTelemetry struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+
+	epoch       *Gauge
+	loss        *Gauge
+	accuracy    *Gauge
+	gradNorm    *Gauge
+	lr          *Gauge
+	retries     *Gauge
+	epochs      *Counter
+	epochTime   *Histogram
+	ckptTime    *Histogram
+	checkpoints *Counter
+}
+
+// NewTrainingTelemetry wires telemetry onto a registry (required) and
+// an optional JSONL sink (nil disables the stream; the registry is
+// still updated, so -metrics-addr works without a telemetry file).
+func NewTrainingTelemetry(r *Registry, jsonl io.Writer) *TrainingTelemetry {
+	t := &TrainingTelemetry{
+		epoch:       r.Gauge("train_epoch", "Completed training epochs."),
+		loss:        r.Gauge("train_loss", "Mean per-sample loss of the last completed epoch."),
+		accuracy:    r.Gauge("train_accuracy", "Training accuracy of the last completed epoch."),
+		gradNorm:    r.Gauge("train_grad_norm", "Gradient L2 norm of the last batch."),
+		lr:          r.Gauge("train_learning_rate", "Learning rate in effect."),
+		retries:     r.Gauge("train_divergence_retries", "Divergence recoveries (rollback + LR backoff) so far."),
+		epochs:      r.Counter("train_epochs_total", "Epochs completed by this process."),
+		epochTime:   r.Histogram("train_epoch_seconds", "Epoch wall-clock time.", DefEpochBuckets()),
+		ckptTime:    r.Histogram("train_checkpoint_seconds", "Checkpoint flush wall-clock time.", []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
+		checkpoints: r.Counter("train_checkpoints_total", "Checkpoints flushed."),
+	}
+	if jsonl != nil {
+		t.enc = json.NewEncoder(jsonl)
+	}
+	return t
+}
+
+// OnEpoch records one completed epoch: a JSONL line (when a sink is
+// configured) plus registry updates. Encoding errors are swallowed —
+// telemetry must never fail training.
+func (t *TrainingTelemetry) OnEpoch(ev EpochEvent) {
+	if ev.Time == "" {
+		ev.Time = time.Now().Format(time.RFC3339Nano)
+	}
+	t.epoch.SetInt(uint64(ev.Epoch))
+	t.loss.Set(ev.Loss)
+	t.accuracy.Set(ev.Accuracy)
+	t.gradNorm.Set(ev.GradNorm)
+	t.lr.Set(ev.LR)
+	t.retries.SetInt(uint64(ev.Retries))
+	t.epochs.Inc()
+	t.epochTime.Observe(ev.EpochSeconds)
+	if ev.Checkpointed {
+		t.checkpoints.Inc()
+		t.ckptTime.Observe(ev.CheckpointSeconds)
+	}
+	if t.enc != nil {
+		t.mu.Lock()
+		t.enc.Encode(ev)
+		t.mu.Unlock()
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTrainingTelemetryJSONLAndRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	tel := NewTrainingTelemetry(r, &buf)
+
+	tel.OnEpoch(EpochEvent{Epoch: 1, Loss: 1.5, Accuracy: 0.4, GradNorm: 2.0, LR: 0.001, EpochSeconds: 0.2})
+	tel.OnEpoch(EpochEvent{Epoch: 2, Loss: 1.1, Accuracy: 0.6, GradNorm: 1.5, LR: 0.001, Retries: 1,
+		EpochSeconds: 0.25, Checkpointed: true, CheckpointSeconds: 0.01})
+
+	// The JSONL stream: one self-contained object per line.
+	var events []EpochEvent
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev EpochEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d JSONL events, want 2", len(events))
+	}
+	if events[0].Epoch != 1 || events[1].Epoch != 2 || events[1].Loss != 1.1 {
+		t.Fatalf("events corrupted: %+v", events)
+	}
+	if events[0].Time == "" {
+		t.Fatal("event missing timestamp")
+	}
+	if !events[1].Checkpointed || events[1].CheckpointSeconds != 0.01 {
+		t.Fatalf("checkpoint fields lost: %+v", events[1])
+	}
+
+	// The registry mirror: gauges track the last epoch, counters and
+	// histograms accumulate.
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"train_epoch 2",
+		"train_loss 1.1",
+		"train_accuracy 0.6",
+		"train_grad_norm 1.5",
+		"train_divergence_retries 1",
+		"train_epochs_total 2",
+		"train_checkpoints_total 1",
+		"train_epoch_seconds_count{} 2",
+		"train_checkpoint_seconds_count{} 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrainingTelemetryNilSink(t *testing.T) {
+	r := NewRegistry()
+	tel := NewTrainingTelemetry(r, nil)
+	tel.OnEpoch(EpochEvent{Epoch: 1, Loss: 0.5}) // must not panic
+	var b strings.Builder
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), "train_epoch 1") {
+		t.Fatal("registry not updated without a JSONL sink")
+	}
+}

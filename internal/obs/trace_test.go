@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansSortedAndSealed(t *testing.T) {
+	tr := NewTrace()
+	if tr.ID() == "" || len(tr.ID()) != 16 {
+		t.Fatalf("bad trace ID %q", tr.ID())
+	}
+	base := tr.Start()
+	tr.ObserveSpanDur("late", base.Add(5*time.Millisecond), time.Millisecond)
+	tr.ObserveSpanDur("early", base.Add(time.Millisecond), time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "early" || spans[1].Name != "late" {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+
+	l := NewTraceLog(16)
+	rec := l.Finish(tr, "200")
+	if rec.ID != tr.ID() || len(rec.Spans) != 2 || rec.Status != "200" {
+		t.Fatalf("bad record %+v", rec)
+	}
+	// A straggler span after Finish must not mutate the published trace.
+	tr.ObserveSpan("straggler", base)
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("sealed trace accepted a span: %d", got)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.ObserveSpan("x", time.Now()) // must not panic
+	if tr.ID() != "" || tr.Spans() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+	var l *TraceLog
+	l.Finish(nil, "")
+	l.Finish(NewTrace(), "200") // nil log drops the record, no panic
+}
+
+func TestTraceContextPlumbing(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("trace conjured from empty context")
+	}
+}
+
+func TestTraceLogRingEviction(t *testing.T) {
+	l := NewTraceLog(16)
+	var last string
+	for i := 0; i < 40; i++ {
+		tr := NewTrace()
+		l.Finish(tr, "200")
+		last = tr.ID()
+	}
+	snap := l.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("ring holds %d, want capacity 16", len(snap))
+	}
+	if snap[0].ID != last {
+		t.Fatalf("snapshot not newest-first: got %s, want %s", snap[0].ID, last)
+	}
+}
+
+func TestTraceLogHandler(t *testing.T) {
+	l := NewTraceLog(16)
+	tr := NewTrace()
+	tr.ObserveSpanDur("parse", tr.Start(), 2*time.Millisecond)
+	l.Finish(tr, "200")
+
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	var body struct {
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if len(body.Traces) != 1 || body.Traces[0].ID != tr.ID() {
+		t.Fatalf("unexpected traces %+v", body.Traces)
+	}
+	if len(body.Traces[0].Spans) != 1 || body.Traces[0].Spans[0].Name != "parse" {
+		t.Fatalf("span lost in serialisation: %+v", body.Traces[0])
+	}
+}
+
+// TestTraceConcurrent hammers one trace from many goroutines while a
+// reader snapshots — the handler/worker overlap shape from the serving
+// pipeline.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	l := NewTraceLog(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.ObserveSpan("stage", time.Now())
+				tr.Spans()
+			}
+		}()
+	}
+	wg.Wait()
+	if rec := l.Finish(tr, "200"); len(rec.Spans) != 8*500 {
+		t.Fatalf("lost spans: %d", len(rec.Spans))
+	}
+}

@@ -1,0 +1,24 @@
+package represent
+
+import (
+	"testing"
+
+	"repro/internal/synthgen"
+)
+
+// BenchmarkNormalize measures representation construction — the
+// inference-path preprocessing step — per representation kind at the
+// paper's 128×128 grid. Guarded by scripts/benchgate.
+func BenchmarkNormalize(b *testing.B) {
+	m := synthgen.Random(2048, 2048, 2048*8, 1)
+	for _, k := range Kinds() {
+		cfg := Config{Kind: k, Size: 128, Bins: 50}
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Normalize(m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

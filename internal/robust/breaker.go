@@ -44,6 +44,7 @@ type Breaker struct {
 	cooldown    time.Duration
 	state       BreakerState
 	consecutive int
+	transitions uint64
 	since       time.Time // state entry time (open: for cooldown; half-open: probe age)
 	now         func() time.Time
 
@@ -73,9 +74,25 @@ func (b *Breaker) transition(to BreakerState) {
 	from := b.state
 	b.state = to
 	b.since = b.now()
+	b.transitions++
 	if b.OnTransition != nil {
 		b.OnTransition(from, to)
 	}
+}
+
+// Transitions returns the lifetime state-change count — an
+// observability counter complementing the OnTransition hook.
+func (b *Breaker) Transitions() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
+}
+
+// Consecutive returns the current consecutive-failure streak.
+func (b *Breaker) Consecutive() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive
 }
 
 // Allow reports whether the protected path may be tried now. In the

@@ -23,8 +23,35 @@ type Pool struct {
 	mu     sync.RWMutex // guards closed against concurrent Submit/Close
 	closed bool
 
-	panics  atomic.Uint64
-	onPanic func(*PanicError)
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	panics    atomic.Uint64
+	onPanic   func(*PanicError)
+}
+
+// PoolStats is a point-in-time view of a pool's lifetime accounting —
+// the numbers an observability layer exports as pool health.
+type PoolStats struct {
+	// Submitted counts tasks accepted by Submit.
+	Submitted uint64
+	// Completed counts tasks that finished running (panicked tasks
+	// included — containment is completion).
+	Completed uint64
+	// Panics counts contained task panics.
+	Panics uint64
+	// Queued is the number of tasks currently waiting for a worker.
+	Queued int
+}
+
+// Stats returns the pool's current counters. Safe for concurrent use;
+// the fields are individually atomic, not a consistent snapshot.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Submitted: p.submitted.Load(),
+		Completed: p.completed.Load(),
+		Panics:    p.panics.Load(),
+		Queued:    len(p.tasks),
+	}
 }
 
 // NewPool starts n workers (minimum 1) with a task queue of the given
@@ -64,6 +91,7 @@ func (p *Pool) run(task func()) {
 			}
 		}
 	}()
+	defer p.completed.Add(1)
 	task()
 }
 
@@ -81,6 +109,7 @@ func (p *Pool) Submit(task func()) error {
 	if p.closed {
 		return ErrPoolClosed
 	}
+	p.submitted.Add(1)
 	p.tasks <- task
 	return nil
 }

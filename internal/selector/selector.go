@@ -38,7 +38,18 @@ const FallbackFormat = sparse.FormatCSR
 type Selector struct {
 	Cfg   Config
 	Model *nn.Model
+
+	// epochHook, when set via SetEpochHook, observes every completed
+	// training epoch. It is deliberately unexported (and therefore
+	// outside the serialised artifact): telemetry wiring is per-process
+	// state, not part of the model.
+	epochHook func(nn.EpochStats)
 }
+
+// SetEpochHook installs (or clears, with nil) a per-epoch telemetry
+// observer for subsequent training runs. The hook runs on the training
+// goroutine after each successfully completed epoch.
+func (s *Selector) SetEpochHook(h func(nn.EpochStats)) { s.epochHook = h }
 
 // New builds an untrained selector.
 func New(cfg Config) (*Selector, error) {
@@ -280,6 +291,7 @@ func (s *Selector) TrainSamplesCtx(ctx context.Context, samples []nn.Sample, cp 
 				opt.LR = s.Cfg.LearningRate * 0.2
 			}
 		},
+		PostEpoch: s.epochHook,
 	})
 }
 

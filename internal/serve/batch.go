@@ -5,16 +5,19 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/selector"
 	"repro/internal/sparse"
 )
 
 // job is one prediction request in flight between handler and worker.
 type job struct {
-	ctx  context.Context // request context: deadline budget + client liveness
-	m    *sparse.COO
-	fp   uint64
-	done chan jobResult // buffered(1): workers never block on a gone client
+	ctx      context.Context // request context: deadline budget + client liveness
+	m        *sparse.COO
+	fp       uint64
+	tr       *obs.Trace     // request trace (nil-safe); workers add queue/batch/rung spans
+	enqueued time.Time      // when the handler submitted the job (queue span start)
+	done     chan jobResult // buffered(1): workers never block on a gone client
 }
 
 type jobResult struct {
@@ -93,14 +96,22 @@ func (s *Server) runBatch(batch []*job) {
 	if s.testHookPreBatch != nil {
 		s.testHookPreBatch()
 	}
+	batchStart := time.Now()
 	sel := s.model.Load()
 	gen := s.gen.Load()
 	s.met.batches.Inc()
 	s.met.batchJobs.Add(uint64(len(batch)))
 	s.met.batchSize.Observe(float64(len(batch)))
+	// The queue span closes for every member at pickup: time between the
+	// handler's submit and the worker starting the batch.
+	for _, j := range batch {
+		j.tr.ObserveSpan("queue", j.enqueued)
+	}
 
 	for _, j := range batch {
+		rungStart := time.Now()
 		pred, rung := s.ladderPredict(j.ctx, sel, j.m)
+		j.tr.ObserveSpan("rung:"+rung, rungStart)
 		s.met.rungs.With(rungLabel(rung)).Inc()
 		if pred.FellBack {
 			s.met.fallbacks.With(reasonLabel(pred.Reason)).Inc()
@@ -110,8 +121,11 @@ func (s *Server) runBatch(batch []*job) {
 			// caused by a transient condition must not be replayed from
 			// cache after the condition clears.
 			s.cache.Add(j.fp, pred, gen)
-			s.met.cacheSize.Set(uint64(s.cache.Len()))
+			s.met.cacheSize.SetInt(uint64(s.cache.Len()))
 		}
+		// The batch span is the shared worker-side interval: from batch
+		// pickup to this job's answer, covering head-of-batch waiting.
+		j.tr.ObserveSpan("batch", batchStart)
 		j.done <- jobResult{pred: pred, gen: gen, rung: rung}
 		answered++
 	}

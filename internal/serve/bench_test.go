@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchPredict drives the full handler path — parse, cache, batch
+// dispatch, ladder, render — without network overhead.
+func benchPredict(b *testing.B, mutate func(*Config)) {
+	s, _ := newTestServer(b, mutate)
+	h := s.Handler()
+	body := matrixJSON(24, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+		}
+	}
+}
+
+// BenchmarkPredictCached is the steady-state hot path: every request
+// after the first is answered from the prediction cache. Guarded by
+// scripts/benchgate.
+func BenchmarkPredictCached(b *testing.B) {
+	benchPredict(b, nil)
+}
+
+// BenchmarkPredictUncached forces every request through batch dispatch
+// and a full forward pass (cache disabled, no batching delay).
+func BenchmarkPredictUncached(b *testing.B) {
+	benchPredict(b, func(c *Config) {
+		c.CacheSize = 0
+		c.BatchWindow = 50 * time.Microsecond
+	})
+}

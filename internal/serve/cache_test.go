@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -137,47 +136,6 @@ func TestMetricsRender(t *testing.T) {
 	}
 }
 
-func TestHistogramCumulative(t *testing.T) {
-	h := newHistogram([]float64{1, 10, 100})
-	for _, v := range []float64{0.5, 5, 50, 500} {
-		h.Observe(v)
-	}
-	var b strings.Builder
-	h.write(&b, "x", "")
-	out := b.String()
-	for _, want := range []string{
-		`x_bucket{le="1"} 1`,
-		`x_bucket{le="10"} 2`,
-		`x_bucket{le="100"} 3`,
-		`x_bucket{le="+Inf"} 4`,
-		"x_count{} 4",
-		"x_sum{} 555.5",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("missing %q in:\n%s", want, out)
-		}
-	}
-}
-
-func TestHistogramConcurrentSum(t *testing.T) {
-	h := newHistogram(defLatencyBuckets())
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				h.Observe(0.001)
-			}
-		}()
-	}
-	wg.Wait()
-	var b strings.Builder
-	h.write(&b, "x", "")
-	if !strings.Contains(b.String(), "x_count{} 8000") {
-		t.Fatalf("lost observations:\n%s", b.String())
-	}
-	if !strings.Contains(b.String(), fmt.Sprintf("x_sum{} %g", 8.0)) {
-		t.Fatalf("atomic float sum drifted:\n%s", b.String())
-	}
-}
+// The histogram primitive's own unit tests (cumulative buckets, atomic
+// concurrent sums) moved to internal/obs with the instrument layer; see
+// obs.TestHistogramCumulative and the registry race hammer.

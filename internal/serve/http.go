@@ -8,12 +8,24 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/selector"
 	"repro/internal/sparse"
 )
+
+// wantTrace reports whether the client asked for the per-stage span
+// block in the response body (?trace=1 or an X-Trace: 1 header).
+func wantTrace(r *http.Request) bool {
+	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+		return true
+	}
+	v := r.Header.Get("X-Trace")
+	return v == "1" || v == "true"
+}
 
 // predictRequest is the JSON request body for POST /v1/predict:
 // explicit COO triplets. Alternatively the body may be a raw Matrix
@@ -26,7 +38,10 @@ type predictRequest struct {
 }
 
 // response is the JSON answer for POST /v1/predict. Rung reports which
-// ladder layer produced the answer: "cnn", "dtree" or "csr".
+// ladder layer produced the answer: "cnn", "dtree" or "csr". TraceID
+// always carries the request's span ID (it is also the X-Trace-Id
+// header); the per-stage Trace block is included when the client asks
+// for it with ?trace=1.
 type response struct {
 	Format          string             `json:"format"`
 	Probs           map[string]float64 `json:"probs,omitempty"`
@@ -35,6 +50,8 @@ type response struct {
 	Cached          bool               `json:"cached"`
 	Rung            string             `json:"rung"`
 	ModelGeneration uint64             `json:"model_generation"`
+	TraceID         string             `json:"trace_id,omitempty"`
+	Trace           []obs.Span         `json:"trace,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-200 answer.
@@ -83,7 +100,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	code := http.StatusOK
-	defer func() { s.met.request("predict", code, start) }()
+	// Every predict request gets a trace: the span ID goes out as the
+	// X-Trace-Id header (success or failure), the per-stage spans are
+	// recorded along the pipeline, and the finished trace lands in the
+	// /debug/traces ring on the admin listener.
+	tr := obs.NewTrace()
+	w.Header().Set("X-Trace-Id", tr.ID())
+	defer func() {
+		s.met.request("predict", code, start)
+		s.traces.Finish(tr, strconv.Itoa(code))
+	}()
 
 	if r.Method != http.MethodPost {
 		code = http.StatusMethodNotAllowed
@@ -109,8 +135,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// cannot occupy a worker indefinitely.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	ctx = obs.WithTrace(ctx, tr)
 
+	parseStart := time.Now()
 	m, err := s.parseMatrix(ctx, r)
+	tr.ObserveSpan("parse", parseStart)
 	if err != nil {
 		code = ingestStatus(err)
 		writeJSON(w, code, errorResponse{Error: err.Error()})
@@ -120,6 +149,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.predictOne(ctx, m)
 	switch {
 	case err == nil:
+		resp.TraceID = tr.ID()
+		if wantTrace(r) {
+			resp.Trace = tr.Spans()
+		}
 		writeJSON(w, code, resp)
 	case errors.Is(err, errOverloaded):
 		// Shed, not failed: tell the client when to come back.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/selector"
 	"repro/internal/sparse"
 )
@@ -105,7 +107,9 @@ func (s *Server) cnnOnce(ctx context.Context, sel *selector.Selector, m *sparse.
 			ch <- cnnOut{err: fmt.Errorf("serve: cnn predict: %w", err)}
 			return
 		}
+		fwdStart := time.Now()
 		f, probs, err := sel.Predict(m)
+		obs.TraceFrom(ctx).ObserveSpan("forward", fwdStart)
 		if err != nil {
 			ch <- cnnOut{err: err}
 			return

@@ -3,265 +3,143 @@ package serve
 import (
 	"fmt"
 	"io"
-	"math"
-	"sort"
-	"strings"
-	"sync"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/robust"
 )
 
-// This file is a minimal, dependency-free Prometheus instrumentation
-// layer: atomic counters, gauges and fixed-bucket histograms that
-// render themselves in the text exposition format (version 0.0.4). The
-// set is small and fixed at Server construction, so rendering is a
-// deterministic walk — no reflection, no global registries.
-
-// counter is a monotonically increasing atomic counter.
-type counter struct {
-	v atomic.Uint64
+// requestLabel renders the label set of one completed request,
+// byte-identical to the pre-obs exposition.
+func requestLabel(endpoint string, code int) string {
+	return fmt.Sprintf("code=%q,endpoint=%q", strconv.Itoa(code), endpoint)
 }
 
-func (c *counter) Inc()          { c.v.Add(1) }
-func (c *counter) Add(n uint64)  { c.v.Add(n) }
-func (c *counter) Value() uint64 { return c.v.Load() }
-
-// gauge is a settable instantaneous value.
-type gauge struct {
-	v atomic.Uint64
+// endpointLabel renders the latency histogram's label set.
+func endpointLabel(endpoint string) string {
+	return fmt.Sprintf("endpoint=%q", endpoint)
 }
 
-func (g *gauge) Set(n uint64)  { g.v.Store(n) }
-func (g *gauge) Value() uint64 { return g.v.Load() }
-
-// labeledCounter is a counter vector over one or two label dimensions,
-// created lazily per label combination.
-type labeledCounter struct {
-	mu sync.Mutex
-	m  map[string]*counter
-}
-
-func newLabeledCounter() *labeledCounter {
-	return &labeledCounter{m: map[string]*counter{}}
-}
-
-// With returns the counter for a rendered label set such as
-// `endpoint="predict",code="200"`.
-func (lc *labeledCounter) With(labels string) *counter {
-	lc.mu.Lock()
-	defer lc.mu.Unlock()
-	c, ok := lc.m[labels]
-	if !ok {
-		c = &counter{}
-		lc.m[labels] = c
-	}
-	return c
-}
-
-// snapshot returns the label sets in sorted order for deterministic
-// rendering.
-func (lc *labeledCounter) snapshot() []struct {
-	Labels string
-	Value  uint64
-} {
-	lc.mu.Lock()
-	defer lc.mu.Unlock()
-	out := make([]struct {
-		Labels string
-		Value  uint64
-	}, 0, len(lc.m))
-	for l, c := range lc.m {
-		out = append(out, struct {
-			Labels string
-			Value  uint64
-		}{l, c.Value()})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
-	return out
-}
-
-// histogram is a fixed-bucket cumulative histogram with an atomic
-// float64 sum (CAS on the bit pattern).
-type histogram struct {
-	bounds  []float64 // upper bounds, ascending; +Inf implicit
-	buckets []atomic.Uint64
-	count   atomic.Uint64
-	sumBits atomic.Uint64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
-}
-
-// defLatencyBuckets covers sub-millisecond cache hits through
-// multi-second cold predictions on big matrices.
-func defLatencyBuckets() []float64 {
-	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
-}
-
-// defBatchBuckets covers micro-batch sizes up to the default cap.
-func defBatchBuckets() []float64 {
-	return []float64{1, 2, 4, 8, 16, 32, 64}
-}
-
-// Observe records one sample.
-func (h *histogram) Observe(v float64) {
-	for i, b := range h.bounds {
-		if v <= b {
-			h.buckets[i].Add(1)
-		}
-	}
-	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		nw := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sumBits.CompareAndSwap(old, nw) {
-			return
-		}
-	}
-}
-
-// ObserveSince records the elapsed time since start, in seconds.
-func (h *histogram) ObserveSince(start time.Time) {
-	h.Observe(time.Since(start).Seconds())
-}
-
-// write renders the histogram series for a metric name with an optional
-// extra label prefix (e.g. `endpoint="predict"`).
-func (h *histogram) write(w io.Writer, name, labels string) {
-	sep := ""
-	if labels != "" {
-		sep = ","
-	}
-	for i, b := range h.bounds {
-		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, formatBound(b), h.buckets[i].Load())
-	}
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count.Load())
-	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, math.Float64frombits(h.sumBits.Load()))
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
-}
-
-func formatBound(b float64) string {
-	s := fmt.Sprintf("%g", b)
-	return s
-}
+// This file wires the server's instrument set onto the shared obs
+// registry (internal/obs). Every metric name predates the obs layer —
+// dashboards scrape them — so the refactor keeps the full name set (a
+// regression test asserts the superset) while gaining labeled
+// histograms, quantile snapshots and a registry the admin listener and
+// request tracing share.
 
 // metrics is the server's full instrument set.
 type metrics struct {
-	requests       *labeledCounter       // endpoint, code
-	latency        map[string]*histogram // endpoint -> seconds
-	predictions    *labeledCounter       // format
-	fallbacks      *labeledCounter       // reason class
-	cacheHits      counter
-	cacheMisses    counter
-	cacheEvictions counter
-	cacheSize      gauge
-	batches        counter
-	batchJobs      counter
-	batchSize      *histogram
-	queueRejects   counter
-	reloads        counter
-	reloadFails    counter
-	modelGen       gauge
-	workerPanics   gauge
+	reg *obs.Registry
+
+	requests       *obs.CounterVec   // endpoint, code
+	latency        *obs.HistogramVec // endpoint -> seconds
+	predictions    *obs.CounterVec   // format
+	fallbacks      *obs.CounterVec   // reason class
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheSize      *obs.Gauge
+	batches        *obs.Counter
+	batchJobs      *obs.Counter
+	batchSize      *obs.Histogram
+	queueRejects   *obs.Counter
+	reloads        *obs.Counter
+	reloadFails    *obs.Counter
+	modelGen       *obs.Gauge
+	workerPanics   *obs.Gauge
 	inflight       atomic.Int64
-	started        time.Time
 
 	// Degradation-ladder instruments (see ladder.go).
-	rungs                *labeledCounter // which ladder rung answered
-	cnnFailures          *labeledCounter // CNN rung failures by cause
-	breakerTransitions   *labeledCounter // breaker transitions by target state
-	breakerState         gauge           // 0=closed, 1=open, 2=half-open
-	breakerShortCircuits counter         // requests routed past the CNN without trying it
+	rungs                *obs.CounterVec // which ladder rung answered
+	cnnFailures          *obs.CounterVec // CNN rung failures by cause
+	breakerTransitions   *obs.CounterVec // breaker transitions by target state
+	breakerState         *obs.Gauge      // 0=closed, 1=open, 2=half-open
+	breakerShortCircuits *obs.Counter    // requests routed past the CNN without trying it
 }
 
+// newMetrics registers the serving instrument set on a fresh registry.
+// Registration order is rendering order, matched to the pre-obs
+// exposition so diffs against old scrapes stay readable.
 func newMetrics() *metrics {
-	return &metrics{
-		requests:    newLabeledCounter(),
-		predictions: newLabeledCounter(),
-		fallbacks:   newLabeledCounter(),
-		latency: map[string]*histogram{
-			"predict": newHistogram(defLatencyBuckets()),
-			"healthz": newHistogram(defLatencyBuckets()),
-			"readyz":  newHistogram(defLatencyBuckets()),
-			"metrics": newHistogram(defLatencyBuckets()),
-		},
-		batchSize:          newHistogram(defBatchBuckets()),
-		started:            time.Now(),
-		rungs:              newLabeledCounter(),
-		cnnFailures:        newLabeledCounter(),
-		breakerTransitions: newLabeledCounter(),
+	r := obs.NewRegistry()
+	m := &metrics{reg: r}
+
+	m.requests = r.CounterVec("serve_requests_total", "HTTP requests by endpoint and status code.")
+	m.latency = r.HistogramVec("serve_request_seconds", "Request latency by endpoint.", obs.DefLatencyBuckets())
+	// Pre-create the endpoint series so a fresh server's scrape already
+	// shows the full latency name set.
+	for _, ep := range []string{"healthz", "metrics", "predict", "readyz"} {
+		m.latency.With(endpointLabel(ep))
 	}
+	m.predictions = r.CounterVec("serve_predictions_total", "Predictions served, by chosen format.")
+	m.fallbacks = r.CounterVec("serve_fallbacks_total", "Predictions that degraded to the CSR baseline, by cause.")
+	m.rungs = r.CounterVec("serve_rung_total", "Predictions answered, by ladder rung (cnn, dtree, csr).")
+	m.cnnFailures = r.CounterVec("serve_cnn_failures_total", "CNN rung failures counted against the breaker, by cause.")
+	m.breakerTransitions = r.CounterVec("serve_breaker_transitions_total", "Circuit breaker state transitions, by target state.")
+	m.breakerState = r.Gauge("serve_breaker_state", "Circuit breaker state (0=closed, 1=open, 2=half-open).")
+	m.breakerShortCircuits = r.Counter("serve_breaker_short_circuits_total", "Requests routed past the CNN rung while the breaker was open.")
+
+	m.cacheHits = r.Counter("serve_cache_hits_total", "Prediction cache hits (NN forward pass skipped).")
+	m.cacheMisses = r.Counter("serve_cache_misses_total", "Prediction cache misses.")
+	m.cacheEvictions = r.Counter("serve_cache_evictions_total", "Prediction cache LRU evictions.")
+	m.cacheSize = r.Gauge("serve_cache_entries", "Current prediction cache entries.")
+
+	m.batches = r.Counter("serve_batches_total", "Micro-batches dispatched to the worker pool.")
+	m.batchJobs = r.Counter("serve_batch_jobs_total", "Prediction jobs processed through batches.")
+	m.batchSize = r.Histogram("serve_batch_size", "Jobs coalesced per micro-batch.", obs.DefBatchBuckets())
+	m.queueRejects = r.Counter("serve_queue_rejects_total", "Requests rejected because the batch queue was full.")
+
+	m.reloads = r.Counter("serve_model_reloads_total", "Successful model hot reloads.")
+	m.reloadFails = r.Counter("serve_model_reload_failures_total", "Rejected model reloads (validation failed; old model kept).")
+	m.modelGen = r.Gauge("serve_model_generation", "Generation of the live model (bumps on every reload).")
+	m.workerPanics = r.Gauge("serve_worker_panics_total", "Panics contained by the prediction worker pool.")
+
+	r.GaugeFunc("serve_inflight_requests", "Predict requests currently in flight.", func() float64 {
+		v := m.inflight.Load()
+		if v < 0 {
+			v = 0
+		}
+		return float64(v)
+	})
+	started := time.Now()
+	r.GaugeFunc("serve_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(started).Seconds()
+	})
+	obs.RuntimeGauges(r)
+	return m
+}
+
+// instrumentPool exposes worker-pool liveness through the registry —
+// throughput and queue depth, next to the panic containment the gauge
+// above tracks.
+func (m *metrics) instrumentPool(p *robust.Pool) {
+	m.reg.GaugeFunc("serve_pool_tasks_submitted_total", "Tasks accepted by the prediction worker pool.", func() float64 {
+		return float64(p.Stats().Submitted)
+	})
+	m.reg.GaugeFunc("serve_pool_tasks_completed_total", "Tasks finished by the prediction worker pool (panicked tasks included).", func() float64 {
+		return float64(p.Stats().Completed)
+	})
+	m.reg.GaugeFunc("serve_pool_queue_depth", "Tasks waiting in the prediction pool queue.", func() float64 {
+		return float64(p.Stats().Queued)
+	})
+}
+
+// instrumentBreaker exposes breaker internals beyond the state gauge.
+func (m *metrics) instrumentBreaker(b *robust.Breaker) {
+	m.reg.GaugeFunc("serve_breaker_consecutive_failures", "Current consecutive-failure streak against the CNN rung.", func() float64 {
+		return float64(b.Consecutive())
+	})
 }
 
 // request records one completed request.
 func (m *metrics) request(endpoint string, code int, start time.Time) {
-	m.requests.With(fmt.Sprintf("code=%q,endpoint=%q", fmt.Sprint(code), endpoint)).Inc()
-	if h, ok := m.latency[endpoint]; ok {
-		h.ObserveSince(start)
-	}
+	m.requests.With(requestLabel(endpoint, code)).Inc()
+	m.latency.With(endpointLabel(endpoint)).ObserveSince(start)
 }
 
 // WriteTo renders the full metric set in Prometheus text format.
 func (m *metrics) WriteTo(w io.Writer) (int64, error) {
-	var b strings.Builder
-
-	writeLabeled := func(name, help, typ string, lc *labeledCounter) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		for _, e := range lc.snapshot() {
-			fmt.Fprintf(&b, "%s{%s} %d\n", name, e.Labels, e.Value)
-		}
-	}
-	writeCounter := func(name, help string, c *counter) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Value())
-	}
-	writeGauge := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-
-	writeLabeled("serve_requests_total", "HTTP requests by endpoint and status code.", "counter", m.requests)
-
-	fmt.Fprintf(&b, "# HELP serve_request_seconds Request latency by endpoint.\n# TYPE serve_request_seconds histogram\n")
-	eps := make([]string, 0, len(m.latency))
-	for ep := range m.latency {
-		eps = append(eps, ep)
-	}
-	sort.Strings(eps)
-	for _, ep := range eps {
-		m.latency[ep].write(&b, "serve_request_seconds", fmt.Sprintf("endpoint=%q", ep))
-	}
-
-	writeLabeled("serve_predictions_total", "Predictions served, by chosen format.", "counter", m.predictions)
-	writeLabeled("serve_fallbacks_total", "Predictions that degraded to the CSR baseline, by cause.", "counter", m.fallbacks)
-	writeLabeled("serve_rung_total", "Predictions answered, by ladder rung (cnn, dtree, csr).", "counter", m.rungs)
-	writeLabeled("serve_cnn_failures_total", "CNN rung failures counted against the breaker, by cause.", "counter", m.cnnFailures)
-	writeLabeled("serve_breaker_transitions_total", "Circuit breaker state transitions, by target state.", "counter", m.breakerTransitions)
-	writeGauge("serve_breaker_state", "Circuit breaker state (0=closed, 1=open, 2=half-open).", m.breakerState.Value())
-	writeCounter("serve_breaker_short_circuits_total", "Requests routed past the CNN rung while the breaker was open.", &m.breakerShortCircuits)
-
-	writeCounter("serve_cache_hits_total", "Prediction cache hits (NN forward pass skipped).", &m.cacheHits)
-	writeCounter("serve_cache_misses_total", "Prediction cache misses.", &m.cacheMisses)
-	writeCounter("serve_cache_evictions_total", "Prediction cache LRU evictions.", &m.cacheEvictions)
-	writeGauge("serve_cache_entries", "Current prediction cache entries.", m.cacheSize.Value())
-
-	writeCounter("serve_batches_total", "Micro-batches dispatched to the worker pool.", &m.batches)
-	writeCounter("serve_batch_jobs_total", "Prediction jobs processed through batches.", &m.batchJobs)
-	fmt.Fprintf(&b, "# HELP serve_batch_size Jobs coalesced per micro-batch.\n# TYPE serve_batch_size histogram\n")
-	m.batchSize.write(&b, "serve_batch_size", "")
-	writeCounter("serve_queue_rejects_total", "Requests rejected because the batch queue was full.", &m.queueRejects)
-
-	writeCounter("serve_model_reloads_total", "Successful model hot reloads.", &m.reloads)
-	writeCounter("serve_model_reload_failures_total", "Rejected model reloads (validation failed; old model kept).", &m.reloadFails)
-	writeGauge("serve_model_generation", "Generation of the live model (bumps on every reload).", m.modelGen.Value())
-	writeGauge("serve_worker_panics_total", "Panics contained by the prediction worker pool.", m.workerPanics.Value())
-
-	inflight := m.inflight.Load()
-	if inflight < 0 {
-		inflight = 0
-	}
-	writeGauge("serve_inflight_requests", "Predict requests currently in flight.", uint64(inflight))
-	fmt.Fprintf(&b, "# HELP serve_uptime_seconds Seconds since the server started.\n# TYPE serve_uptime_seconds gauge\nserve_uptime_seconds %g\n", time.Since(m.started).Seconds())
-
-	n, err := io.WriteString(w, b.String())
-	return int64(n), err
+	return m.reg.WriteTo(w)
 }

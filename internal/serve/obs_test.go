@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// preRefactorMetricNames is the frozen contract: every metric the serve
+// package exposed before the obs refactor must still appear on /metrics.
+// Do not remove entries from this list — renames break dashboards.
+var preRefactorMetricNames = []string{
+	"serve_batch_jobs_total",
+	"serve_batch_size",
+	"serve_batches_total",
+	"serve_breaker_short_circuits_total",
+	"serve_breaker_state",
+	"serve_breaker_transitions_total",
+	"serve_cache_entries",
+	"serve_cache_evictions_total",
+	"serve_cache_hits_total",
+	"serve_cache_misses_total",
+	"serve_cnn_failures_total",
+	"serve_fallbacks_total",
+	"serve_inflight_requests",
+	"serve_model_generation",
+	"serve_model_reload_failures_total",
+	"serve_model_reloads_total",
+	"serve_predictions_total",
+	"serve_queue_rejects_total",
+	"serve_request_seconds",
+	"serve_requests_total",
+	"serve_rung_total",
+	"serve_worker_panics_total",
+}
+
+// TestMetricsNameSuperset asserts the obs-backed /metrics output is a
+// superset of the pre-refactor metric-name set.
+func TestMetricsNameSuperset(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One request of each outcome so counters have been touched.
+	postPredict(t, ts, matrixJSON(16, 1), "application/json")
+	postPredict(t, ts, []byte("{"), "application/json")
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+
+	for _, name := range preRefactorMetricNames {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("pre-refactor metric %s missing from /metrics", name)
+		}
+	}
+	// Spot-check that old rendered series shapes survived the rewrite.
+	for _, want := range []string{
+		`serve_requests_total{code="200",endpoint="predict"}`,
+		`serve_request_seconds_bucket{endpoint="predict",le="`,
+		"serve_model_generation 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing rendered series %q in:\n%s", want, out)
+		}
+	}
+}
+
+// traceResponse decodes a predict response including the trace block.
+func traceResponse(t *testing.T, ts *httptest.Server, body []byte) (string, response) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/predict?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var r response
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("bad body %q: %v", data, err)
+	}
+	return resp.Header.Get("X-Trace-Id"), r
+}
+
+// TestTracePropagation verifies one trace ID spans the whole request
+// path — HTTP ingress, batch queue, ladder rung, forward pass — and is
+// reported consistently in the header, body, and /debug/traces ring.
+func TestTracePropagation(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.CacheSize = 0 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	header, resp := traceResponse(t, ts, matrixJSON(24, 2))
+	if header == "" || resp.TraceID != header {
+		t.Fatalf("trace ID mismatch: header %q body %q", header, resp.TraceID)
+	}
+
+	stages := map[string]bool{}
+	for _, sp := range resp.Trace {
+		if sp.DurationMicros < 0 {
+			t.Errorf("span %s has negative duration", sp.Name)
+		}
+		if strings.HasPrefix(sp.Name, "rung:") {
+			stages["rung"] = true
+		}
+		stages[sp.Name] = true
+	}
+	for _, want := range []string{"parse", "queue", "batch", "rung"} {
+		if !stages[want] {
+			t.Errorf("trace missing %q span; got %+v", want, resp.Trace)
+		}
+	}
+
+	// The finished trace must land in the admin ring with its status.
+	admin := httptest.NewServer(s.AdminHandler())
+	defer admin.Close()
+	tr, err := admin.Client().Get(admin.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	ring, _ := io.ReadAll(tr.Body)
+	if !strings.Contains(string(ring), header) {
+		t.Errorf("trace %s absent from /debug/traces:\n%s", header, ring)
+	}
+}
+
+// TestTracePropagationUnderBatching fires concurrent requests so the
+// dispatcher coalesces them into shared batches, then checks every
+// response still carries its own distinct, complete trace.
+func TestTracePropagationUnderBatching(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.CacheSize = 0
+		c.BatchWindow = 5 * time.Millisecond
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 8
+	ids := make([]string, n)
+	resps := make([]response, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct sizes defeat the cache so every request rides a batch.
+			ids[i], resps[i] = traceResponse(t, ts, matrixJSON(16+i, 1))
+		}(i)
+	}
+	wg.Wait()
+
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		if ids[i] == "" || seen[ids[i]] {
+			t.Fatalf("request %d: missing or duplicated trace ID %q", i, ids[i])
+		}
+		seen[ids[i]] = true
+		stages := map[string]bool{}
+		for _, sp := range resps[i].Trace {
+			stages[sp.Name] = true
+			if strings.HasPrefix(sp.Name, "rung:") {
+				stages["rung"] = true
+			}
+		}
+		for _, want := range []string{"parse", "queue", "batch", "rung"} {
+			if !stages[want] {
+				t.Errorf("request %d trace missing %q span: %+v", i, want, resps[i].Trace)
+			}
+		}
+	}
+}
+
+// TestTraceOptInOnly: without ?trace=1 the response carries the ID but
+// not the span block, keeping default payloads small.
+func TestTraceOptInOnly(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, resp, _ := postPredict(t, ts, matrixJSON(24, 2), "application/json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("trace ID absent without opt-in")
+	}
+	if len(resp.Trace) != 0 {
+		t.Fatalf("span block leaked without opt-in: %+v", resp.Trace)
+	}
+}

@@ -65,7 +65,7 @@ func (s *Server) Reload() error {
 
 	s.model.Store(sel)
 	gen := s.gen.Add(1)
-	s.met.modelGen.Set(gen)
+	s.met.modelGen.SetInt(gen)
 	s.cache.Reset()
 	s.met.cacheSize.Set(0)
 	if statErr == nil {

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/dtree"
+	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/selector"
 	"repro/internal/sparse"
@@ -139,6 +140,7 @@ type Server struct {
 
 	cache   *predictionCache
 	met     *metrics
+	traces  *obs.TraceLog
 	pool    *robust.Pool
 	jobs    chan *job
 	quit    chan struct{}
@@ -165,22 +167,25 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newPredictionCache(cfg.CacheSize),
-		met:   newMetrics(),
-		jobs:  make(chan *job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
+		cfg:    cfg,
+		cache:  newPredictionCache(cfg.CacheSize),
+		met:    newMetrics(),
+		traces: obs.NewTraceLog(256),
+		jobs:   make(chan *job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
 	}
 	s.pool = robust.NewPool(cfg.Workers, cfg.Workers, func(pe *robust.PanicError) {
 		s.logf("serve: contained worker panic: %v", pe.Value)
-		s.met.workerPanics.Set(s.pool.Panics())
+		s.met.workerPanics.SetInt(s.pool.Panics())
 	})
+	s.met.instrumentPool(s.pool)
 	s.breaker = robust.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	s.breaker.OnTransition = func(from, to robust.BreakerState) {
-		s.met.breakerState.Set(uint64(to))
+		s.met.breakerState.SetInt(uint64(to))
 		s.met.breakerTransitions.With(fmt.Sprintf("to=%q", to.String())).Inc()
 		s.logf("serve: breaker %s -> %s", from, to)
 	}
+	s.met.instrumentBreaker(s.breaker)
 	if err := s.Reload(); err != nil {
 		s.pool.Close()
 		return nil, fmt.Errorf("serve: initial model load: %w", err)
@@ -297,18 +302,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // predictOne resolves one prediction request end to end: cache lookup,
 // micro-batched inference, cache fill. It is the handler-side entry
-// point; ctx aborts the wait (client gone / drain deadline).
+// point; ctx aborts the wait (client gone / drain deadline) and carries
+// the request trace, which gains cache/queue spans here and
+// batch/rung/forward spans on the worker side.
 func (s *Server) predictOne(ctx context.Context, m *sparse.COO) (response, error) {
+	tr := obs.TraceFrom(ctx)
+	cacheStart := time.Now()
 	fp := sparse.Fingerprint(m)
 	if pred, gen, ok := s.cache.Get(fp); ok {
 		s.met.cacheHits.Inc()
+		tr.ObserveSpan("cache", cacheStart)
 		// Only CNN-rung answers are ever cached, so a hit reports the
 		// cnn rung.
 		return makeResponse(pred, gen, true, rungCNN), nil
 	}
 	s.met.cacheMisses.Inc()
+	tr.ObserveSpan("cache", cacheStart)
 
-	j := &job{ctx: ctx, m: m, fp: fp, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, m: m, fp: fp, tr: tr, enqueued: time.Now(), done: make(chan jobResult, 1)}
 	select {
 	case s.jobs <- j:
 	default:
@@ -330,3 +341,22 @@ func (s *Server) predictOne(ctx context.Context, m *sparse.COO) (response, error
 }
 
 var errOverloaded = errors.New("serve: prediction queue full")
+
+// Metrics returns the server's metric registry — the backing store of
+// /metrics, shared with the admin listener.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// Traces returns the server's ring buffer of recent request traces.
+func (s *Server) Traces() *obs.TraceLog { return s.traces }
+
+// AdminHandler returns the introspection surface for a separate admin
+// listener: /metrics, /debug/traces and /debug/pprof. It is never
+// mounted on the traffic handler — pprof on a public port is an
+// information leak and a DoS lever.
+func (s *Server) AdminHandler() http.Handler {
+	return obs.AdminHandler(obs.AdminConfig{
+		Registry: s.met.reg,
+		Traces:   s.traces,
+		PProf:    true,
+	})
+}

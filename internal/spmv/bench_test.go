@@ -1,0 +1,63 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// benchCOO is the fixed-seed kernel workload: large enough that the
+// inner loops dominate, small enough that `make bench` stays fast.
+func benchCOO() *sparse.COO {
+	rng := rand.New(rand.NewSource(1))
+	return randomCOO(rng, 2048, 2048, 2048*8)
+}
+
+// BenchmarkKernelMul measures every per-format SpMV kernel serially on
+// one fixed matrix. These are guarded hot paths: scripts/benchgate
+// fails CI if any regresses more than its threshold.
+func BenchmarkKernelMul(b *testing.B) {
+	c := benchCOO()
+	rows, cols := c.Dims()
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, rows)
+	for _, f := range sparse.AllFormats() {
+		m := sparse.MustConvert(c, f)
+		k, err := ForFormat(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(f.String(), func(b *testing.B) {
+			b.SetBytes(m.Bytes())
+			for i := 0; i < b.N; i++ {
+				k.Mul(y, m, x, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelMulParallel exercises the row-partitioned and
+// scatter-reduce parallel paths with the worker heuristic (workers=0).
+func BenchmarkKernelMulParallel(b *testing.B) {
+	c := benchCOO()
+	rows, cols := c.Dims()
+	x := make([]float64, cols)
+	y := make([]float64, rows)
+	for _, f := range []sparse.Format{sparse.FormatCSR, sparse.FormatCOO} {
+		m := sparse.MustConvert(c, f)
+		k, err := ForFormat(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(f.String(), func(b *testing.B) {
+			b.SetBytes(m.Bytes())
+			for i := 0; i < b.N; i++ {
+				k.Mul(y, m, x, 0)
+			}
+		})
+	}
+}

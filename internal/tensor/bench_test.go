@@ -1,0 +1,50 @@
+package tensor
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkMatMul covers the dense GEMM that dominates CNN forward and
+// backward passes. Guarded by scripts/benchgate.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{64, 128, 256} {
+		a := randTensor(rng, n, n)
+		c := randTensor(rng, n, n)
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n * n))
+			for i := 0; i < b.N; i++ {
+				MatMul(a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulTransB covers the transposed variant used by the
+// backward pass (dX = dY · Wᵀ).
+func BenchmarkMatMulTransB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 128
+	a := randTensor(rng, n, n)
+	c := randTensor(rng, n, n)
+	b.SetBytes(int64(8 * n * n))
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(a, c)
+	}
+}
+
+// BenchmarkIm2Col covers convolution lowering on a representative
+// CNN-layer geometry (128×128 input, 3×3 kernel).
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randTensor(rng, 2, 128, 128)
+	g := ConvGeom{InC: 2, InH: 128, InW: 128, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	if err := g.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		Im2Col(in, g)
+	}
+}

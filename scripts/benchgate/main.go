@@ -1,0 +1,140 @@
+// Command benchgate compares a fresh BENCH.json against the committed
+// BENCH_baseline.json and fails when a guarded hot-path benchmark has
+// regressed beyond the threshold.
+//
+//	go run ./scripts/benchgate -baseline BENCH_baseline.json -current BENCH.json
+//
+// Only the guarded set is gated — the SpMV kernels, dense MatMul,
+// representation construction, and the serve predict path — because
+// micro-noise on the heavyweight experiment reproductions would make a
+// blanket gate flaky. A guarded benchmark present in the baseline but
+// missing from the current run is an error (a silently deleted
+// benchmark is a silently dropped guarantee); new benchmarks absent
+// from the baseline only produce a note. With -advisory the gate
+// prints its verdict but always exits 0, which is how CI runs it on
+// pull requests before the blocking run on the main branch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type result struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type doc struct {
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// guarded names the hot paths whose latency is a contract. Keys are
+// regexps over "<import path>/Benchmark<name>" as written by benchjson.
+// The parallel SpMV variants are deliberately ungated: their timings
+// fold in goroutine scheduling on however many cores the runner has,
+// which is noise about the machine, not the kernel.
+var guarded = []*regexp.Regexp{
+	regexp.MustCompile(`^repro/internal/spmv/BenchmarkKernelMul/`),
+	regexp.MustCompile(`^repro/internal/tensor/BenchmarkMatMul`),
+	regexp.MustCompile(`^repro/internal/represent/BenchmarkNormalize`),
+	regexp.MustCompile(`^repro/internal/serve/BenchmarkPredict`),
+}
+
+func isGuarded(key string) bool {
+	for _, re := range guarded {
+		if re.MatchString(key) {
+			return true
+		}
+	}
+	return false
+}
+
+func load(path string) (doc, error) {
+	var d doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(d.Benchmarks) == 0 {
+		return d, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return d, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline")
+	current := flag.String("current", "BENCH.json", "fresh benchmark run")
+	threshold := flag.Float64("threshold", 0.25, "max allowed ns/op regression ratio")
+	advisory := flag.Bool("advisory", false, "report but always exit 0")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(base.Benchmarks))
+	for k := range base.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failures := 0
+	checked := 0
+	for _, k := range keys {
+		if !isGuarded(k) {
+			continue
+		}
+		b := base.Benchmarks[k]
+		c, ok := cur.Benchmarks[k]
+		if !ok {
+			fmt.Printf("FAIL  %-60s guarded benchmark missing from current run\n", k)
+			failures++
+			continue
+		}
+		checked++
+		ratio := c.NsPerOp/b.NsPerOp - 1
+		verdict := "ok  "
+		if ratio > *threshold {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s  %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			verdict, k, b.NsPerOp, c.NsPerOp, 100*ratio)
+	}
+	for k := range cur.Benchmarks {
+		if isGuarded(k) {
+			if _, ok := base.Benchmarks[k]; !ok {
+				fmt.Printf("note  %-60s new guarded benchmark, not in baseline\n", k)
+			}
+		}
+	}
+
+	if checked == 0 && failures == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline contains no guarded benchmarks")
+		os.Exit(2)
+	}
+	switch {
+	case failures == 0:
+		fmt.Printf("benchgate: %d guarded benchmarks within %.0f%%\n", checked, 100**threshold)
+	case *advisory:
+		fmt.Printf("benchgate: %d regression(s) beyond %.0f%% (advisory mode, not failing)\n",
+			failures, 100**threshold)
+	default:
+		fmt.Printf("benchgate: %d regression(s) beyond %.0f%%\n", failures, 100**threshold)
+		os.Exit(1)
+	}
+}

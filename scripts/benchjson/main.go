@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document for artifact upload and for the
+// benchmark-regression gate (scripts/benchgate).
+//
+//	go test -bench=. -run='^$' ./... > BENCH.txt
+//	go run ./scripts/benchjson -o BENCH.json < BENCH.txt
+//
+// Benchmarks are keyed by "<import path>/<benchmark name>" with the
+// GOMAXPROCS suffix stripped, so keys are stable across machines with
+// different core counts. When the same key appears more than once
+// (e.g. -count=N), the fastest run is kept — the minimum is the least
+// noisy estimate of the true cost.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the top-level BENCH.json schema.
+type Doc struct {
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+	procSufRe = regexp.MustCompile(`-\d+$`)
+)
+
+func parse(doc *Doc, sc *bufio.Scanner) (int, error) {
+	pkg := ""
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			name := procSufRe.ReplaceAllString(m[1], "")
+			key := name
+			if pkg != "" {
+				key = pkg + "/" + name
+			}
+			iters, _ := strconv.Atoi(m[2])
+			ns, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return lines, fmt.Errorf("bad ns/op in %q: %v", line, err)
+			}
+			r := Result{Iterations: iters, NsPerOp: ns}
+			for _, extra := range [...]struct {
+				unit string
+				dst  *float64
+			}{
+				{"MB/s", &r.MBPerS},
+				{"B/op", &r.BytesPerOp},
+				{"allocs/op", &r.AllocsPerOp},
+			} {
+				re := regexp.MustCompile(`([\d.]+) ` + regexp.QuoteMeta(extra.unit))
+				if em := re.FindStringSubmatch(m[4]); em != nil {
+					*extra.dst, _ = strconv.ParseFloat(em[1], 64)
+				}
+			}
+			if prev, ok := doc.Benchmarks[key]; !ok || r.NsPerOp < prev.NsPerOp {
+				doc.Benchmarks[key] = r
+			}
+			lines++
+		}
+	}
+	return lines, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output path ('-' for stdout)")
+	flag.Parse()
+
+	doc := Doc{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n, err := parse(&doc, sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}

@@ -10,6 +10,15 @@ cd "$(dirname "$0")/.."
 # The experiment reproductions take ~2 minutes without the race
 # detector and several times that with it; the default 10m per-package
 # timeout is too tight.
+# Formatting gate: gofmt is the one true style; a non-empty file list
+# fails the build with the offending paths.
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
 go run ./scripts/servesmoke

@@ -7,7 +7,8 @@
 //  3. waits for readiness, POSTs a matrix as JSON and as Matrix
 //     Market, and checks a valid format comes back,
 //  4. checks the repeated request is answered from the cache and that
-//     the hit is visible in /metrics,
+//     the hit is visible in /metrics, and that the -admin-addr listener
+//     serves /metrics, /debug/pprof/ and /debug/traces,
 //  5. overwrites the model file and waits for the hot-reload
 //     generation bump,
 //  6. runs cmd/predict in -server client mode against the live server,
@@ -93,7 +94,8 @@ func run() error {
 	}
 
 	step("starting server")
-	srv := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-model", model, "-watch", "100ms", "-cache", "64")
+	srv := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
+		"-model", model, "-watch", "100ms", "-cache", "64")
 	srv.Stderr = os.Stderr
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
@@ -104,7 +106,7 @@ func run() error {
 	}
 	defer srv.Process.Kill()
 
-	base, err := scrapeAddr(stdout)
+	base, admin, err := scrapeAddrs(stdout)
 	if err != nil {
 		return err
 	}
@@ -147,6 +149,25 @@ func run() error {
 	}
 	if !regexp.MustCompile(`(?m)^serve_cache_hits_total [1-9]`).MatchString(page) {
 		return fmt.Errorf("/metrics does not show cache hits")
+	}
+
+	// 4b. Admin plane: metrics, the pprof index, and the trace ring all
+	// answer on the separate -admin-addr listener.
+	step("checking admin endpoints at " + admin)
+	page, err = get(admin + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"serve_requests_total", "process_goroutines"} {
+		if !strings.Contains(page, want) {
+			return fmt.Errorf("admin /metrics missing %s", want)
+		}
+	}
+	if page, err = get(admin + "/debug/pprof/"); err != nil || !strings.Contains(page, "goroutine") {
+		return fmt.Errorf("admin /debug/pprof/ not serving profiles: %v", err)
+	}
+	if page, err = get(admin + "/debug/traces"); err != nil || !strings.Contains(page, `"spans"`) {
+		return fmt.Errorf("admin /debug/traces has no recorded traces: %v\n%s", err, page)
 	}
 
 	// 5. Hot reload: overwrite the model file, watch the generation.
@@ -303,25 +324,38 @@ func jsonEntries(n int) string {
 	return strings.Join(parts, ",")
 }
 
-// scrapeAddr reads the server's "listening on http://..." line.
-func scrapeAddr(r io.Reader) (string, error) {
+// scrapeAddrs reads the server's listen announcements. The admin line
+// ("serve: admin listening on ...") is printed before the serving line
+// ("serve: listening on ..."); admin is empty when -admin-addr is off.
+func scrapeAddrs(r io.Reader) (base, admin string, err error) {
 	sc := bufio.NewScanner(r)
-	re := regexp.MustCompile(`listening on (http://\S+)`)
+	mainRe := regexp.MustCompile(`serve: listening on (http://\S+)`)
+	adminRe := regexp.MustCompile(`serve: admin listening on (http://\S+)`)
 	deadline := time.Now().Add(10 * time.Second)
 	for sc.Scan() {
-		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+		if m := adminRe.FindStringSubmatch(sc.Text()); m != nil {
+			admin = m[1]
+			continue
+		}
+		if m := mainRe.FindStringSubmatch(sc.Text()); m != nil {
 			// Keep draining stdout so the child never blocks on a full pipe.
 			go func() {
 				for sc.Scan() {
 				}
 			}()
-			return m[1], nil
+			return m[1], admin, nil
 		}
 		if time.Now().After(deadline) {
 			break
 		}
 	}
-	return "", fmt.Errorf("server never printed its listen address")
+	return "", "", fmt.Errorf("server never printed its listen address")
+}
+
+// scrapeAddr is scrapeAddrs for servers started without -admin-addr.
+func scrapeAddr(r io.Reader) (string, error) {
+	base, _, err := scrapeAddrs(r)
+	return base, err
 }
 
 func waitReady(url string) error {
