@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check smoke fuzz bench
+.PHONY: build test check smoke gendrill fuzz bench
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,10 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: build, vet, the serve smoke test, and the full
-# test suite under the race detector (worker pools, the imported-matrix
-# registry, the checkpointer and the serving tier are all
-# concurrency-sensitive).
+# check is the CI gate: build, vet, the serve smoke test, the gendata
+# kill→resume drill, and the full test suite under the race detector
+# (worker pools, the imported-matrix registry, the checkpointer and the
+# serving tier are all concurrency-sensitive).
 check:
 	./scripts/check.sh
 
@@ -21,6 +21,12 @@ check:
 smoke:
 	$(GO) run ./scripts/servesmoke
 
+# gendrill runs only the corpus crash drill: SIGKILL a journaled
+# gendata build mid-flight, resume it, require byte-identical output,
+# and prove an injected poison matrix is quarantined rather than fatal.
+gendrill:
+	$(GO) run ./scripts/gendrill
+
 # fuzz runs the native fuzz targets over the hardened ingestion
 # surfaces (MatrixMarket parsing and the predict request path). Budget
 # per target is FUZZTIME (default 30s); CI runs a shorter smoke via
@@ -29,6 +35,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadMatrixMarket$$' -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzPredictJSON$$' -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz='^FuzzLoadDataset$$' -fuzztime=$(FUZZTIME) ./internal/dataset
 
 # bench runs every benchmark in the module (the per-paper-table harness
 # at the root plus the per-package hot-path benchmarks) and converts

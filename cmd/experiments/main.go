@@ -11,12 +11,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/machine"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 	repBins := flag.Int("repbins", 0, "override histogram bins")
 	seed := flag.Int64("seed", 0, "override seed")
 	wallclock := flag.Bool("wallclock", false, "label the CPU corpus with real kernel timings (table2/fig8)")
+	dataIn := flag.String("dataset", "", "reuse this pre-labeled xeonlike corpus (a gendata artifact) for the CPU experiments instead of generating one")
 	flag.Parse()
 
 	o := experiments.Default()
@@ -58,6 +62,32 @@ func main() {
 		o.Seed = *seed
 	}
 	o.WallClock = *wallclock
+	if *dataIn != "" {
+		// The CPU experiments reuse one pre-labeled corpus; the typed
+		// load errors distinguish damage (regenerate) from platform
+		// mismatch (wrong artifact) from semantic breakage (bug).
+		lab := machine.NewLabeler(machine.XeonLike(), o.Seed)
+		d, err := dataset.LoadValidated(*dataIn, lab)
+		switch {
+		case errors.Is(err, dataset.ErrCorrupt):
+			fmt.Fprintf(os.Stderr, "experiments: %s is corrupt or truncated (%v); regenerate it with gendata\n", *dataIn, err)
+			os.Exit(1)
+		case errors.Is(err, dataset.ErrMismatch):
+			fmt.Fprintf(os.Stderr, "experiments: %s does not match the xeonlike CPU platform (%v); regenerate with gendata -platform xeonlike\n", *dataIn, err)
+			os.Exit(1)
+		case errors.Is(err, dataset.ErrInvalid):
+			fmt.Fprintf(os.Stderr, "experiments: %s decodes but fails semantic validation (%v); regenerate it with gendata\n", *dataIn, err)
+			os.Exit(1)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		o.CPUData = d
+		if o.Count != len(d.Records) {
+			fmt.Fprintf(os.Stderr, "experiments: using %d records from %s (overriding -count %d)\n", len(d.Records), *dataIn, o.Count)
+			o.Count = len(d.Records)
+		}
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {

@@ -1,18 +1,45 @@
 // Command gendata generates and labels a training corpus and writes it
-// to a gob file — step 1 of the paper's Figure 3 pipeline as a
-// standalone tool, so label collection (the expensive step on real
-// hardware) can be reused across training runs.
+// to an integrity-checked dataset file — step 1 of the paper's Figure 3
+// pipeline as a standalone tool, so label collection (the expensive
+// step on real hardware) can be reused across training runs.
 //
 //	gendata -platform titanlike -count 2000 -out gpu.gob
+//
+// Label collection is the stage the paper spends weeks of machine time
+// on, so gendata is built to survive anything short of a disk fire:
+// with -journal every completed shard is persisted atomically, and a
+// build killed at any instant (kill -9 included) continues with
+// -resume, skipping finished shards and producing a byte-identical
+// dataset. A matrix that panics or exceeds -matrix-timeout is
+// quarantined (spec + error in <journal>/quarantine.jsonl) instead of
+// aborting the build; systemic failure still aborts via the
+// consecutive-failure breaker and the -max-quarantine-frac threshold.
+//
+//	gendata -count 5000 -journal build/ -out corpus.gob      # killed...
+//	gendata -count 5000 -journal build/ -out corpus.gob -resume
+//
+// -metrics-addr serves live gendata_* build gauges (shards done,
+// records labeled, quarantined, labels/sec) plus pprof while the build
+// runs, and a one-line JSON build report is appended to
+// <journal>/report.jsonl on completion.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -22,24 +49,115 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	noise := flag.Float64("noise", 0.03, "relative measurement noise sigma")
 	out := flag.String("out", "dataset.gob", "output file")
+	workers := flag.Int("workers", 0, "labeling worker goroutines (0 = GOMAXPROCS)")
+	journal := flag.String("journal", "", "journal directory for crash-safe shard persistence (empty = in-memory build)")
+	resume := flag.Bool("resume", false, "skip shards already journaled by a previous identical run (requires -journal)")
+	shardSize := flag.Int("shard-size", 64, "matrices per journal shard")
+	matrixTimeout := flag.Duration("matrix-timeout", 0, "per-matrix build+label deadline; exceeding it quarantines the matrix (0 = none)")
+	maxQuarantine := flag.Float64("max-quarantine-frac", 0.25, "abort when quarantined/count exceeds this fraction (negative disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 16, "abort after this many consecutive per-matrix failures (negative disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live build metrics and pprof on this address while the build runs (empty disables)")
+	quiet := flag.Bool("quiet", false, "suppress per-shard progress lines")
 	flag.Parse()
 
-	p, err := machine.PlatformByName(*platform)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "gendata:", err)
 		os.Exit(1)
 	}
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "gendata: -resume requires -journal")
+		os.Exit(2)
+	}
+	// Fire-drill hook, mirroring cmd/serve's SERVE_FAULT_INJECT: arm
+	// label-panic / label-stall / shard-corrupt faults from the
+	// environment so the kill→resume and quarantine drills exercise the
+	// real binary.
+	if spec := os.Getenv("GENDATA_FAULT_INJECT"); spec != "" {
+		if err := faultinject.Arm(spec); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "gendata: fault injection armed: %s\n", spec)
+	}
+
+	p, err := machine.PlatformByName(*platform)
+	if err != nil {
+		fail(err)
+	}
 	lab := machine.NewLabeler(p, *seed)
 	lab.NoiseSigma = *noise
-	d := dataset.Generate(dataset.Config{Count: *count, Seed: *seed, MaxN: *maxN}, lab)
+
+	// Ctrl-C / SIGTERM stops the build at the next shard boundary;
+	// journaled shards survive for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := dataset.Config{
+		Count: *count, Seed: *seed, MaxN: *maxN, Workers: *workers,
+		ShardSize: *shardSize, JournalDir: *journal, Resume: *resume,
+		MatrixTimeout: *matrixTimeout, MaxQuarantineFrac: *maxQuarantine,
+		BreakerThreshold: *breakerThreshold,
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RuntimeGauges(reg)
+		cfg.Metrics = dataset.NewBuildMetrics(reg)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		srv := &http.Server{
+			Handler:           obs.AdminHandler(obs.AdminConfig{Registry: reg, PProf: true}),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		fmt.Printf("gendata: metrics on http://%s/metrics\n", ln.Addr())
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+	if !*quiet {
+		start := time.Now()
+		cfg.OnShard = func(done, total int) {
+			fmt.Printf("gendata: shard %d/%d done (%.1fs)\n", done, total, time.Since(start).Seconds())
+		}
+	}
+
+	d, report, err := dataset.GenerateCtx(ctx, cfg, lab)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			if *journal != "" {
+				fmt.Fprintf(os.Stderr, "gendata: interrupted; journal preserved in %s (rerun with -resume to continue)\n", *journal)
+			} else {
+				fmt.Fprintln(os.Stderr, "gendata: interrupted (no -journal, progress lost)")
+			}
+			os.Exit(130)
+		case errors.Is(err, dataset.ErrBreakerTripped):
+			fail(fmt.Errorf("labeling is failing consecutively, aborting (%v)", err))
+		case errors.Is(err, dataset.ErrTooManyQuarantined):
+			fail(fmt.Errorf("quarantine threshold exceeded, aborting (%v)", err))
+		case errors.Is(err, dataset.ErrMismatch):
+			fail(fmt.Errorf("%v; use a fresh -journal directory or matching flags", err))
+		default:
+			fail(err)
+		}
+	}
+
+	if report != nil {
+		fmt.Printf("gendata: %s\n", report)
+	}
 	counts := d.ClassCounts()
 	fmt.Printf("labelled %d matrices on %s\n", len(d.Records), p)
 	for i, f := range d.Formats {
 		fmt.Printf("  %-5s %6d\n", f, counts[i])
 	}
+	if report != nil && report.Quarantined > 0 {
+		where := "in-memory only (use -journal to persist quarantine reports)"
+		if *journal != "" {
+			where = fmt.Sprintf("see %s/quarantine.jsonl", *journal)
+		}
+		fmt.Printf("quarantined %d matrices; %s\n", report.Quarantined, where)
+	}
 	if err := d.Save(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "gendata:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("dataset saved to %s\n", *out)
 }

@@ -26,6 +26,7 @@ func main() {
 	target := flag.String("target", "a8like", "target platform: xeonlike, a8like, titanlike")
 	method := flag.String("method", "top", "migration method: scratch, continuous, top")
 	budget := flag.Int("budget", 200, "target-platform label budget (matrices)")
+	dataIn := flag.String("dataset", "", "retrain on this pre-labeled target-platform corpus (a gendata artifact) instead of collecting -budget labels")
 	maxN := flag.Int("maxn", 2048, "matrix dimension bound for the retraining corpus")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "migrated.gob", "output model file")
@@ -68,9 +69,25 @@ func main() {
 			want, *target, got))
 	}
 
-	fmt.Printf("collecting %d labels on %s\n", *budget, p)
 	lab := machine.NewLabeler(p, *seed)
-	d := dataset.Generate(dataset.Config{Count: *budget, Seed: *seed, MaxN: *maxN}, lab)
+	var d *dataset.Dataset
+	if *dataIn != "" {
+		fmt.Printf("loading target-platform corpus from %s\n", *dataIn)
+		d, err = dataset.LoadValidated(*dataIn, lab)
+		switch {
+		case errors.Is(err, dataset.ErrCorrupt):
+			fail(fmt.Errorf("%s is corrupt or truncated (%v); regenerate it with gendata", *dataIn, err))
+		case errors.Is(err, dataset.ErrMismatch):
+			fail(fmt.Errorf("%s was not labeled for %s (%v); migration needs target-platform labels — regenerate with gendata -platform %s", *dataIn, *target, err, *target))
+		case errors.Is(err, dataset.ErrInvalid):
+			fail(fmt.Errorf("%s decodes but fails semantic validation (%v); regenerate it with gendata", *dataIn, err))
+		case err != nil:
+			fail(err)
+		}
+	} else {
+		fmt.Printf("collecting %d labels on %s\n", *budget, p)
+		d = dataset.Generate(dataset.Config{Count: *budget, Seed: *seed, MaxN: *maxN}, lab)
+	}
 
 	migrated, err := selector.Transfer(src, m)
 	if err != nil {

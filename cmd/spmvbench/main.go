@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +27,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	platform := flag.String("platform", "xeonlike", "platform for model estimates")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "SpMV worker goroutines")
-	repeats := flag.Int("repeats", 11, "timing repetitions (min is reported)")
+	repeats := flag.Int("repeats", 11, "timing repetitions (MAD-trimmed mean is reported)")
+	warmup := flag.Int("warmup", 2, "untimed warmup iterations per format")
+	timeout := flag.Duration("timeout", 0, "per-format measurement deadline; a format exceeding it is reported as timed out instead of hanging the harness (0 = none)")
 	flag.Parse()
 
 	var c *sparse.COO
@@ -60,13 +64,27 @@ func main() {
 		measured float64
 	}
 	var rowsOut []row
+	opts := machine.MeasureOpts{Workers: *workers, Repeats: *repeats, Warmup: *warmup, Timeout: *timeout}
 	for _, f := range sparse.AllFormats() {
 		m := sparse.MustConvert(c, f)
-		sec := machine.Measure(m, *workers, *repeats)
-		rowsOut = append(rowsOut, row{f, sec})
+		// The same warmup + MAD-trimmed-mean estimator the corpus
+		// labeler uses, so harness numbers and training labels agree.
+		sec, err := machine.MeasureCtx(context.Background(), m, opts)
 		model := p.EstimateSeconds(st, f)
+		if errors.Is(err, machine.ErrMeasureTimeout) {
+			fmt.Printf("%-6s %13s %13.3gs %12s %10d\n", f, "timeout", model, "-", m.Bytes())
+			continue
+		} else if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvbench:", err)
+			os.Exit(1)
+		}
+		rowsOut = append(rowsOut, row{f, sec})
 		gflops := 2 * float64(c.NNZ()) / sec / 1e9
 		fmt.Printf("%-6s %12.3gs %13.3gs %12.2f %10d\n", f, sec, model, gflops, m.Bytes())
+	}
+	if len(rowsOut) == 0 {
+		fmt.Fprintln(os.Stderr, "spmvbench: every format timed out; raise -timeout")
+		os.Exit(1)
 	}
 	sort.Slice(rowsOut, func(i, j int) bool { return rowsOut[i].measured < rowsOut[j].measured })
 	fmt.Printf("fastest measured: %s\n", rowsOut[0].f)

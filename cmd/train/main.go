@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/dtree"
 	"repro/internal/features"
 	"repro/internal/nn"
@@ -53,6 +54,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	wall := flag.Bool("wallclock", false, "label with real kernel timings instead of the platform model")
 	out := flag.String("out", "model.gob", "output model file")
+	dataIn := flag.String("dataset-in", "", "train on this pre-labeled corpus (a gendata artifact) instead of generating one; it must match -platform")
 	dataOut := flag.String("dataset", "", "optional dataset output file (gob)")
 	dtreeOut := flag.String("dtree-out", "", "optional decision-tree baseline artifact, trained on the same split (for serve -dtree)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic training checkpoints")
@@ -136,9 +138,21 @@ func main() {
 		Platform: *platform, Count: *count, MaxN: *maxN,
 		Representation: kind, RepSize: *repSize, RepBins: *repBins,
 		Epochs: *epochs, Seed: *seed, WallClock: *wall, Log: os.Stdout,
+		DatasetPath:   *dataIn,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
 		EpochHook: epochHook,
 	})
+	switch {
+	case errors.Is(err, dataset.ErrCorrupt):
+		fmt.Fprintf(os.Stderr, "train: %s is corrupt or truncated (%v); regenerate it with gendata\n", *dataIn, err)
+		os.Exit(1)
+	case errors.Is(err, dataset.ErrMismatch):
+		fmt.Fprintf(os.Stderr, "train: %s was labeled for a different platform or format set (%v); labels are architecture-dependent — regenerate with gendata -platform %s or change -platform\n", *dataIn, err, *platform)
+		os.Exit(1)
+	case errors.Is(err, dataset.ErrInvalid):
+		fmt.Fprintf(os.Stderr, "train: %s decodes but fails semantic validation (%v); this is a corpus-builder bug, please report it\n", *dataIn, err)
+		os.Exit(1)
+	}
 	if errors.Is(err, context.Canceled) {
 		if *ckptDir != "" {
 			fmt.Fprintf(os.Stderr, "train: interrupted; checkpoint flushed to %s (rerun with -resume to continue)\n", *ckptDir)

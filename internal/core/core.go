@@ -46,6 +46,13 @@ type Options struct {
 	// the host instead of the platform cost model. Slower but
 	// measurement-grounded.
 	WallClock bool
+	// DatasetPath, when non-empty, loads a pre-built corpus (a gendata
+	// artifact) instead of generating one. The corpus must be labeled
+	// for Platform with its format set — dataset.ErrMismatch otherwise:
+	// labels are architecture-dependent, so a GPU corpus silently
+	// training a CPU selector is a correctness bug, not a convenience.
+	// Count, MaxN and WallClock are ignored on this path.
+	DatasetPath string
 	// CheckpointDir, when non-empty, makes training write periodic
 	// checkpoints there (and a best-by-loss copy) so an interrupted run
 	// can be continued with Resume.
@@ -131,12 +138,24 @@ func TrainCtx(ctx context.Context, o Options) (*Result, error) {
 		return nil, err
 	}
 	lab := machine.NewLabeler(p, o.Seed)
-	o.logf("step 1: generating and labelling %d matrices on %s", o.Count, p)
-	d := dataset.Generate(dataset.Config{Count: o.Count, Seed: o.Seed, MaxN: o.MaxN, Workers: o.Workers}, lab)
-	if o.WallClock {
-		o.logf("        relabelling with wall-clock kernel timings")
-		if err := relabelWallClock(d, o.Workers); err != nil {
+	var d *dataset.Dataset
+	if o.DatasetPath != "" {
+		o.logf("step 1: loading pre-labeled corpus from %s", o.DatasetPath)
+		d, err = dataset.LoadValidated(o.DatasetPath, lab)
+		if err != nil {
 			return nil, err
+		}
+	} else {
+		o.logf("step 1: generating and labelling %d matrices on %s", o.Count, p)
+		d, _, err = dataset.GenerateCtx(ctx, dataset.Config{Count: o.Count, Seed: o.Seed, MaxN: o.MaxN, Workers: o.Workers}, lab)
+		if err != nil {
+			return nil, err
+		}
+		if o.WallClock {
+			o.logf("        relabelling with wall-clock kernel timings")
+			if err := relabelWallClock(ctx, d, o.Workers); err != nil {
+				return nil, err
+			}
 		}
 	}
 	counts := d.ClassCounts()
@@ -222,11 +241,12 @@ func TrainCtx(ctx context.Context, o Options) (*Result, error) {
 }
 
 // relabelWallClock replaces each record's label and times with wall-
-// clock measurements of the Go kernels.
-func relabelWallClock(d *dataset.Dataset, workers int) error {
+// clock measurements of the Go kernels, honouring cancellation between
+// matrices.
+func relabelWallClock(ctx context.Context, d *dataset.Dataset, workers int) error {
 	for i := range d.Records {
 		r := &d.Records[i]
-		label, times, err := machine.MeasureLabel(r.Matrix(), d.Formats, workers, 3)
+		label, times, err := machine.MeasureLabelCtx(ctx, r.Matrix(), d.Formats, machine.MeasureOpts{Workers: workers, Repeats: 3})
 		if err != nil {
 			return err
 		}

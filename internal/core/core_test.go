@@ -168,14 +168,20 @@ func TestTrainCheckpointResume(t *testing.T) {
 	}
 }
 
-// Cancellation returns the partial result (selector, corpus, split)
-// alongside the context error instead of dropping everything.
+// Cancellation mid-training returns the partial result (selector,
+// corpus, split) alongside the context error instead of dropping
+// everything.
 func TestTrainCtxCancelledReturnsPartial(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
+	defer cancel()
 	o := tinyOptions()
 	o.Count = 60
-	o.Epochs = 3
+	o.Epochs = 6
+	o.EpochHook = func(st nn.EpochStats) {
+		if st.Epoch >= 1 {
+			cancel()
+		}
+	}
 	res, err := TrainCtx(ctx, o)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -185,6 +191,23 @@ func TestTrainCtxCancelledReturnsPartial(t *testing.T) {
 	}
 	if res.Metrics != nil {
 		t.Fatal("cancelled run reported held-out metrics")
+	}
+}
+
+// Cancellation during corpus generation (now context-aware) aborts the
+// run with the context error before a selector ever exists.
+func TestTrainCtxCancelledDuringGeneration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := tinyOptions()
+	o.Count = 60
+	o.Epochs = 3
+	res, err := TrainCtx(ctx, o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("expected no result when generation was cancelled, got %+v", res)
 	}
 }
 

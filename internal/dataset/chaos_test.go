@@ -1,0 +1,318 @@
+package dataset
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+)
+
+// chaosConfig is the shared build shape for the crash/containment
+// drills: small enough to run in a test, sharded finely enough that an
+// interrupt leaves real resume work behind.
+func chaosConfig(journal string) Config {
+	return Config{
+		Count: 80, Seed: 11, MaxN: 192, Workers: 2,
+		ShardSize: 8, JournalDir: journal,
+	}
+}
+
+func chaosLabeler() *machine.Labeler {
+	return machine.NewLabeler(machine.XeonLike(), 11)
+}
+
+// saveChecksum saves d to a temp file and returns the sha256 of the
+// file bytes — the "same checksum" the resume-equivalence guarantee is
+// stated in.
+func saveChecksum(t *testing.T, d *Dataset) [32]byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.bin")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(b)
+}
+
+// TestInterruptResumeByteIdentity is the headline crash drill: a build
+// cancelled mid-flight (standing in for kill -9 — the journal only ever
+// sees completed atomic writes either way) and then resumed must
+// produce a dataset whose saved bytes are identical to an uninterrupted
+// run with the same seed.
+func TestInterruptResumeByteIdentity(t *testing.T) {
+	lab := chaosLabeler()
+
+	// Uninterrupted reference build, no journal.
+	ref, _, err := GenerateCtx(context.Background(), chaosConfig(""), lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveChecksum(t, ref)
+
+	// Interrupted build: cancel once a few shards have landed.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := chaosConfig(dir)
+	cfg.OnShard = func(done, total int) {
+		if done >= 3 {
+			cancel()
+		}
+	}
+	_, report, err := GenerateCtx(ctx, cfg, lab)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted build: err = %v, want context.Canceled", err)
+	}
+	if report == nil {
+		t.Fatal("interrupted build returned no report")
+	}
+
+	// The journal must hold at least the shards OnShard observed.
+	shards, _ := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+	if len(shards) < 3 {
+		t.Fatalf("journal holds %d shards after interrupt, want >= 3", len(shards))
+	}
+
+	// Resume with the identical configuration.
+	cfg = chaosConfig(dir)
+	cfg.Resume = true
+	d, report, err := GenerateCtx(context.Background(), cfg, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ResumedShards < 3 {
+		t.Fatalf("resume reused %d shards, want >= 3", report.ResumedShards)
+	}
+	if got := saveChecksum(t, d); got != want {
+		t.Fatal("resumed dataset is not byte-identical to the uninterrupted build")
+	}
+}
+
+// TestResumeOfCompleteJournalIsPureReplay asserts the degenerate resume:
+// every shard already journaled, nothing re-run, identical bytes.
+func TestResumeOfCompleteJournalIsPureReplay(t *testing.T) {
+	lab := chaosLabeler()
+	dir := t.TempDir()
+	cfg := chaosConfig(dir)
+	d1, _, err := GenerateCtx(context.Background(), cfg, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	d2, report, err := GenerateCtx(context.Background(), cfg, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ResumedShards != report.Shards {
+		t.Fatalf("replay re-ran shards: resumed %d of %d", report.ResumedShards, report.Shards)
+	}
+	if saveChecksum(t, d1) != saveChecksum(t, d2) {
+		t.Fatal("pure replay changed the dataset bytes")
+	}
+}
+
+// TestQuarantinePanicNotAbort injects per-matrix panics and requires
+// the build to complete with the poisoned matrices quarantined — spec
+// and error preserved in quarantine.jsonl — instead of aborting.
+func TestQuarantinePanicNotAbort(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Enable(faultinject.PointLabelPanic, faultinject.Fault{Panic: "poison matrix", Remaining: 3})
+
+	lab := chaosLabeler()
+	dir := t.TempDir()
+	d, report, err := GenerateCtx(context.Background(), chaosConfig(dir), lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Quarantined != 3 {
+		t.Fatalf("quarantined %d, want 3", report.Quarantined)
+	}
+	if len(d.Records) != 80-3 {
+		t.Fatalf("records %d, want %d", len(d.Records), 80-3)
+	}
+
+	f, err := os.Open(filepath.Join(dir, "quarantine.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var entries []QuarantineEntry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e QuarantineEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("quarantine.jsonl line undecodable: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("quarantine.jsonl has %d entries, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if !e.Panic || e.Error == "" || e.Spec.N == 0 && e.Spec.Rows == 0 {
+			t.Fatalf("quarantine entry missing forensics: %+v", e)
+		}
+	}
+}
+
+// TestShardCorruptSelfHeal writes a build whose first journaled shard
+// is bit-flipped after landing (the torn-write fault), then resumes: the
+// corrupt shard must be detected by its envelope CRC, deleted, re-run,
+// and the final dataset must still be byte-identical to a clean build.
+func TestShardCorruptSelfHeal(t *testing.T) {
+	defer faultinject.Reset()
+	lab := chaosLabeler()
+
+	ref, _, err := GenerateCtx(context.Background(), chaosConfig(""), lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveChecksum(t, ref)
+
+	dir := t.TempDir()
+	faultinject.Enable(faultinject.PointShardCorrupt, faultinject.Fault{Err: faultinject.ErrInjected, Remaining: 2})
+	if _, _, err := GenerateCtx(context.Background(), chaosConfig(dir), lab); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Reset()
+
+	cfg := chaosConfig(dir)
+	cfg.Resume = true
+	d, report, err := GenerateCtx(context.Background(), cfg, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.HealedShards != 2 {
+		t.Fatalf("healed %d shards, want 2", report.HealedShards)
+	}
+	if got := saveChecksum(t, d); got != want {
+		t.Fatal("self-healed dataset differs from the clean build")
+	}
+}
+
+// TestResumeRefusesDifferentConfig: shards from one configuration must
+// never be assembled into another's corpus.
+func TestResumeRefusesDifferentConfig(t *testing.T) {
+	lab := chaosLabeler()
+	dir := t.TempDir()
+	if _, _, err := GenerateCtx(context.Background(), chaosConfig(dir), lab); err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(dir)
+	cfg.Seed++ // different corpus entirely
+	cfg.Resume = true
+	_, _, err := GenerateCtx(context.Background(), cfg, lab)
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestMatrixTimeoutQuarantines arms a stall longer than the per-matrix
+// deadline: the stalled matrices must be quarantined as timeouts while
+// the build completes.
+func TestMatrixTimeoutQuarantines(t *testing.T) {
+	defer faultinject.Reset()
+	// The stall must dwarf the deadline and the deadline must dwarf an
+	// honest (race-instrumented) build+label, or slow-but-healthy
+	// matrices get quarantined and the count assertion flakes.
+	faultinject.Enable(faultinject.PointLabelStall, faultinject.Fault{Delay: 30 * time.Second, Remaining: 2})
+
+	cfg := chaosConfig("")
+	cfg.MatrixTimeout = 2 * time.Second
+	d, report, err := GenerateCtx(context.Background(), cfg, chaosLabeler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Quarantined != 2 || len(d.Records) != 80-2 {
+		t.Fatalf("quarantined %d records %d, want 2 and 78", report.Quarantined, len(d.Records))
+	}
+}
+
+// TestBreakerTripsOnConsecutiveFailures: an unbroken run of failures
+// means the labeler is sick, not the matrices — the build must abort
+// with ErrBreakerTripped instead of quarantining the whole corpus.
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Enable(faultinject.PointLabelPanic, faultinject.Fault{Panic: "labeler sick", Remaining: -1})
+
+	cfg := chaosConfig("")
+	cfg.BreakerThreshold = 4
+	cfg.MaxQuarantineFrac = -1 // isolate the breaker path
+	_, _, err := GenerateCtx(context.Background(), cfg, chaosLabeler())
+	if !errors.Is(err, ErrBreakerTripped) {
+		t.Fatalf("err = %v, want ErrBreakerTripped", err)
+	}
+}
+
+// TestQuarantineOverflowAborts: past the quarantine budget the build
+// aborts with ErrTooManyQuarantined rather than shipping a corpus with
+// a silently decimated spec distribution.
+func TestQuarantineOverflowAborts(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Enable(faultinject.PointLabelPanic, faultinject.Fault{Panic: "poison", Remaining: -1})
+
+	cfg := chaosConfig("")
+	cfg.BreakerThreshold = -1 // isolate the overflow path
+	cfg.MaxQuarantineFrac = 0.05
+	_, _, err := GenerateCtx(context.Background(), cfg, chaosLabeler())
+	if !errors.Is(err, ErrTooManyQuarantined) {
+		t.Fatalf("err = %v, want ErrTooManyQuarantined", err)
+	}
+}
+
+// TestGenerateCtxPreCancelled: cancellation before any work returns
+// context.Canceled and no dataset.
+func TestGenerateCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, _, err := GenerateCtx(ctx, chaosConfig(""), chaosLabeler())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d != nil {
+		t.Fatal("cancelled build returned a dataset")
+	}
+}
+
+// TestRelabelCtxCancelled: the parallel relabel honours cancellation.
+func TestRelabelCtxCancelled(t *testing.T) {
+	d := smallDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := d.RelabelCtx(ctx, machine.NewLabeler(machine.A8Like(), 1), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled relabel returned a dataset")
+	}
+}
+
+// TestRelabelCtxMatchesSerial: the parallel relabel must produce the
+// exact labels of the serial path — per-record purity is what makes
+// both resume and parallelism safe.
+func TestRelabelCtxMatchesSerial(t *testing.T) {
+	d := smallDataset(t)
+	lab := machine.NewLabeler(machine.A8Like(), 1)
+	serial := d.Relabel(lab)
+	par, err := d.RelabelCtx(context.Background(), lab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Records {
+		if serial.Records[i].Label != par.Records[i].Label {
+			t.Fatalf("record %d: serial %v parallel %v", i, serial.Records[i].Label, par.Records[i].Label)
+		}
+	}
+}

@@ -2,21 +2,24 @@
 // matrix specs from the synthgen mixture, computes structural
 // statistics, collects per-format SpMV times and best-format labels from
 // a machine labeler (step 1 of the paper's Figure 3 pipeline), and
-// provides train/test splits, 5-fold cross validation and gob
-// persistence. Matrices themselves are regenerated on demand from their
-// specs, keeping stored datasets compact (the paper's corpus is 400 GB;
-// ours is a spec list).
+// provides train/test splits, 5-fold cross validation and integrity-
+// checked persistence. Matrices themselves are regenerated on demand
+// from their specs, keeping stored datasets compact (the paper's corpus
+// is 400 GB; ours is a spec list).
+//
+// Label collection is by far the most expensive stage of the pipeline
+// (the paper spends weeks of machine time on ~9,200 matrices), so
+// generation is crash-safe: GenerateCtx shards the build, journals
+// completed shards atomically (see journal.go), quarantines matrices
+// that panic or stall instead of aborting (quarantine.go), and resumes
+// a killed build without repeating finished work. Stored datasets live
+// inside versioned CRC-checksummed envelopes and are semantically
+// validated on load (persist.go).
 package dataset
 
 import (
-	"encoding/gob"
-	"fmt"
 	"math/rand"
-	"os"
-	"runtime"
-	"sync"
 
-	"repro/internal/machine"
 	"repro/internal/sparse"
 	"repro/internal/synthgen"
 )
@@ -70,77 +73,6 @@ func (d *Dataset) ClassCounts() []int {
 	return counts
 }
 
-// Config controls dataset generation.
-type Config struct {
-	Count   int
-	Seed    int64
-	MaxN    int // matrix dimension bound for the generator
-	Workers int // <=0 means GOMAXPROCS
-}
-
-// Generate builds a labelled dataset of cfg.Count matrices on the given
-// platform, computing stats and labels in parallel.
-func Generate(cfg Config, lab *machine.Labeler) *Dataset {
-	if cfg.Count <= 0 {
-		cfg.Count = 100
-	}
-	if cfg.MaxN <= 0 {
-		cfg.MaxN = 512
-	}
-	specs := synthgen.SampleSpecs(cfg.Count, cfg.Seed, cfg.MaxN)
-	d := &Dataset{Platform: lab.Platform.Name, Formats: lab.Platform.FormatSet()}
-	if len(lab.Formats) > 0 {
-		d.Formats = lab.Formats
-	}
-	d.Records = make([]Record, cfg.Count)
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	chunk := (cfg.Count + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > cfg.Count {
-			hi = cfg.Count
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				m := synthgen.Build(specs[i])
-				st := sparse.ComputeStats(m)
-				label, times := lab.Label(st, uint64(i))
-				d.Records[i] = Record{
-					ID: uint64(i), Spec: specs[i], Stats: st,
-					Label: label, Times: times,
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return d
-}
-
-// Relabel returns a copy of the dataset with labels and times collected
-// on a different platform — the cross-architecture migration setting of
-// Section 6. Stats and specs are reused; only labels change.
-func (d *Dataset) Relabel(lab *machine.Labeler) *Dataset {
-	out := &Dataset{Platform: lab.Platform.Name, Formats: lab.Platform.FormatSet()}
-	if len(lab.Formats) > 0 {
-		out.Formats = lab.Formats
-	}
-	out.Records = make([]Record, len(d.Records))
-	for i, r := range d.Records {
-		label, times := lab.Label(r.Stats, r.ID)
-		out.Records[i] = Record{ID: r.ID, Spec: r.Spec, Stats: r.Stats, Label: label, Times: times}
-	}
-	return out
-}
-
 // Split partitions record indices into train and test sets with the
 // given test fraction, shuffled deterministically.
 func (d *Dataset) Split(testFrac float64, seed int64) (train, test []int) {
@@ -182,31 +114,4 @@ func TrainTestForFold(folds [][]int, i int) (train, test []int) {
 		}
 	}
 	return train, test
-}
-
-// Save writes the dataset to a gob file.
-func (d *Dataset) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
-	}
-	if err := gob.NewEncoder(f).Encode(d); err != nil {
-		f.Close()
-		return fmt.Errorf("dataset: encoding: %w", err)
-	}
-	return f.Close()
-}
-
-// Load reads a dataset written by Save.
-func Load(path string) (*Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
-	}
-	defer f.Close()
-	var d Dataset
-	if err := gob.NewDecoder(f).Decode(&d); err != nil {
-		return nil, fmt.Errorf("dataset: decoding: %w", err)
-	}
-	return &d, nil
 }

@@ -1,0 +1,438 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+	"repro/internal/robust"
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+// Config controls dataset generation.
+type Config struct {
+	Count   int
+	Seed    int64
+	MaxN    int // matrix dimension bound for the generator
+	Workers int // <=0 means GOMAXPROCS
+
+	// ShardSize is the journaling/progress granularity in matrices
+	// (default 64). Shards are the unit of crash-safe resume: a killed
+	// build loses at most the shards in flight.
+	ShardSize int
+	// JournalDir, when non-empty, journals every completed shard there
+	// (atomic temp+rename envelope files plus a CRC'd manifest) so the
+	// build survives kill -9.
+	JournalDir string
+	// Resume skips shards already journaled in JournalDir from a
+	// previous run with the identical configuration. Because every
+	// record is a pure function of (spec, labeler seed), a resumed
+	// build produces a dataset byte-identical to an uninterrupted one.
+	Resume bool
+	// MatrixTimeout is the per-matrix build+label deadline; a matrix
+	// exceeding it is quarantined (the stalled goroutine is abandoned —
+	// Go cannot preempt a hot loop — so pathological matrices cost one
+	// goroutine, not the build). 0 disables.
+	MatrixTimeout time.Duration
+	// MaxQuarantineFrac aborts the build with ErrTooManyQuarantined
+	// when quarantined/Count exceeds it (default 0.25; negative
+	// disables). Containment is for poison matrices, not for masking a
+	// systemically broken labeler.
+	MaxQuarantineFrac float64
+	// BreakerThreshold trips ErrBreakerTripped after this many
+	// consecutive per-matrix failures (default 16; negative disables).
+	BreakerThreshold int
+	// Metrics, when set, receives live build progress (see
+	// NewBuildMetrics).
+	Metrics *BuildMetrics
+	// OnShard, if set, observes (completedShards, totalShards) after
+	// every shard — the progress hook for logging and tests. It may be
+	// called concurrently from worker goroutines.
+	OnShard func(done, total int)
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Count <= 0 {
+		cfg.Count = 100
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 512
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQuarantineFrac == 0 {
+		cfg.MaxQuarantineFrac = 0.25
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 16
+	}
+}
+
+// Generate builds a labelled dataset of cfg.Count matrices on the given
+// platform, computing stats and labels in parallel. It is the
+// non-cancellable convenience wrapper over GenerateCtx; failures that
+// GenerateCtx would contain or type (quarantine overflow, breaker trip)
+// cannot occur without injected faults, so any error here is programmer
+// error and panics, preserving the original Generate contract.
+func Generate(cfg Config, lab *machine.Labeler) *Dataset {
+	d, _, err := GenerateCtx(context.Background(), cfg, lab)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: Generate: %v", err))
+	}
+	return d
+}
+
+// GenerateCtx is the fault-tolerant corpus builder — step 1 of the
+// paper's Figure 3 pipeline, hardened for the multi-hour label
+// collections the paper spends weeks of machine time on. It drives
+// robust worker goroutines over fixed-size shards of the sampled spec
+// list; each matrix is built, measured and labelled inside its own
+// panic containment and optional deadline, with failures quarantined
+// (spec + error preserved) instead of aborting the build. With
+// cfg.JournalDir set, completed shards are journaled atomically so a
+// crashed build resumes (cfg.Resume) by re-running only missing or
+// corrupt shards, reproducing the identical dataset.
+//
+// The returned BuildReport is non-nil whenever the build ran at all,
+// even on error, so callers can log partial progress.
+func GenerateCtx(ctx context.Context, cfg Config, lab *machine.Labeler) (*Dataset, *BuildReport, error) {
+	cfg.defaults()
+	start := time.Now()
+	specs := synthgen.SampleSpecs(cfg.Count, cfg.Seed, cfg.MaxN)
+	numShards := (cfg.Count + cfg.ShardSize - 1) / cfg.ShardSize
+
+	report := &BuildReport{
+		Platform: lab.Platform.Name, Count: cfg.Count,
+		ShardSize: cfg.ShardSize, Shards: numShards,
+	}
+	if m := cfg.Metrics; m != nil {
+		m.ShardsTotal.SetInt(uint64(numShards))
+	}
+
+	// Journal setup: load trusted shards on resume, reset otherwise.
+	var (
+		jl   *journal
+		done = map[int]*shardBlob{}
+	)
+	if cfg.JournalDir != "" {
+		var healed int
+		var err error
+		jl, done, healed, err = openJournal(cfg.JournalDir, fingerprintFor(cfg, lab), numShards, cfg.Resume)
+		if err != nil {
+			return nil, report, err
+		}
+		report.ResumedShards = len(done)
+		report.HealedShards = healed
+		if m := cfg.Metrics; m != nil {
+			m.ShardsDone.SetInt(uint64(len(done)))
+			m.Resumed.SetInt(uint64(len(done)))
+			m.Healed.SetInt(uint64(healed))
+		}
+	}
+
+	// Work queue: the shards not already trusted from the journal.
+	pending := make(chan int, numShards)
+	for idx := 0; idx < numShards; idx++ {
+		if _, ok := done[idx]; !ok {
+			pending <- idx
+		}
+	}
+	close(pending)
+
+	var (
+		mu          sync.Mutex // guards done + report counters
+		shardsDone  = int64(len(done))
+		labeled     atomic.Int64
+		quarantined atomic.Int64
+	)
+	for _, b := range done {
+		labeled.Add(int64(len(b.Records)))
+		quarantined.Add(int64(len(b.Quarantined)))
+	}
+
+	// The breaker watches consecutive per-matrix failures across all
+	// workers: scattered poison matrices are quarantine's job, an
+	// unbroken run of failures means the labeler or generator is sick
+	// and the build must stop burning machine time.
+	var breaker *robust.Breaker
+	if cfg.BreakerThreshold > 0 {
+		breaker = robust.NewBreaker(cfg.BreakerThreshold, time.Hour)
+	}
+	maxQuarantine := -1
+	if cfg.MaxQuarantineFrac >= 0 {
+		maxQuarantine = int(cfg.MaxQuarantineFrac * float64(cfg.Count))
+	}
+
+	workers := cfg.Workers
+	if n := numShards - len(done); workers > n {
+		workers = n
+	}
+	err := robust.WorkersCtx(ctx, workers, func(wctx context.Context, _ int) error {
+		for {
+			select {
+			case <-wctx.Done():
+				return wctx.Err()
+			case idx, ok := <-pending:
+				if !ok {
+					return nil
+				}
+				blob, err := buildShard(wctx, cfg, lab, specs, idx, breaker, &quarantined, maxQuarantine)
+				if err != nil {
+					return err
+				}
+				labeled.Add(int64(len(blob.Records)))
+				if jl != nil {
+					if err := jl.writeShard(blob); err != nil {
+						return err
+					}
+				}
+				mu.Lock()
+				done[idx] = blob
+				shardsDone++
+				sd := shardsDone
+				mu.Unlock()
+				if m := cfg.Metrics; m != nil {
+					m.ShardsDone.SetInt(uint64(sd))
+					m.Records.Add(uint64(len(blob.Records)))
+					m.Quarantined.Add(uint64(len(blob.Quarantined)))
+					if el := time.Since(start).Seconds(); el > 0 {
+						m.LabelsPerSec.Set(float64(labeled.Load()) / el)
+					}
+				}
+				if cfg.OnShard != nil {
+					cfg.OnShard(int(sd), numShards)
+				}
+			}
+		}
+	})
+	report.ElapsedSec = time.Since(start).Seconds()
+	if err != nil {
+		// Completed shards are journaled; surface the most actionable
+		// cause (abort conditions over secondary worker noise).
+		return nil, report, err
+	}
+
+	// Assemble the dataset in shard order. Record IDs are the spec's
+	// position in the sampled list, so noise seeds — and therefore the
+	// assembled bytes — are identical whether or not any run in between
+	// was interrupted, and regardless of quarantine gaps.
+	d := &Dataset{Platform: lab.Platform.Name, Formats: lab.Platform.FormatSet()}
+	if len(lab.Formats) > 0 {
+		d.Formats = lab.Formats
+	}
+	var entries []QuarantineEntry
+	for idx := 0; idx < numShards; idx++ {
+		b, ok := done[idx]
+		if !ok {
+			return nil, report, fmt.Errorf("dataset: shard %d missing after build (internal error)", idx)
+		}
+		d.Records = append(d.Records, b.Records...)
+		entries = append(entries, b.Quarantined...)
+	}
+	report.Records = len(d.Records)
+	report.Quarantined = len(entries)
+	if report.ElapsedSec > 0 {
+		report.LabelsPerSec = float64(report.Records) / report.ElapsedSec
+	}
+	if jl != nil {
+		if err := jl.writeQuarantine(entries); err != nil {
+			return nil, report, err
+		}
+		if err := jl.appendReport(report); err != nil {
+			return nil, report, err
+		}
+	}
+	if len(d.Records) == 0 {
+		return nil, report, fmt.Errorf("%w: every matrix was quarantined (%d/%d)", ErrTooManyQuarantined, len(entries), cfg.Count)
+	}
+	return d, report, nil
+}
+
+// buildShard labels one contiguous spec range with per-matrix
+// containment. A contained failure quarantines the matrix and feeds the
+// breaker; an abort condition (breaker trip, quarantine overflow,
+// cancellation) fails the shard so nothing partial is journaled.
+func buildShard(ctx context.Context, cfg Config, lab *machine.Labeler, specs []synthgen.Spec, idx int,
+	breaker *robust.Breaker, quarantined *atomic.Int64, maxQuarantine int) (*shardBlob, error) {
+	lo := idx * cfg.ShardSize
+	hi := lo + cfg.ShardSize
+	if hi > len(specs) {
+		hi = len(specs)
+	}
+	blob := &shardBlob{FP: fingerprintFor(cfg, lab).hash64(), Index: idx, Specs: hi - lo}
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rec, qe := labelOne(ctx, lab, specs[i], i, cfg.MatrixTimeout)
+		if qe == nil {
+			blob.Records = append(blob.Records, rec)
+			if breaker != nil {
+				breaker.Success()
+			}
+			continue
+		}
+		if ctx.Err() != nil {
+			// Cancellation mid-matrix is not a quarantinable fault.
+			return nil, ctx.Err()
+		}
+		blob.Quarantined = append(blob.Quarantined, *qe)
+		q := quarantined.Add(1)
+		if breaker != nil {
+			breaker.Failure()
+			if breaker.State() == robust.BreakerOpen {
+				return nil, fmt.Errorf("%w: %d consecutive failures, last: %s", ErrBreakerTripped, breaker.Consecutive(), qe.Error)
+			}
+		}
+		if maxQuarantine >= 0 && int(q) > maxQuarantine {
+			return nil, fmt.Errorf("%w: %d of %d matrices (threshold %.0f%%)",
+				ErrTooManyQuarantined, q, cfg.Count, cfg.MaxQuarantineFrac*100)
+		}
+	}
+	return blob, nil
+}
+
+// labelOutcome carries one matrix's result out of its containment
+// goroutine over a buffered channel, so a deadline-abandoned goroutine
+// finishing late writes into garbage-collectable memory instead of
+// racing the caller.
+type labelOutcome struct {
+	rec   Record
+	stage string
+	err   error
+	panic bool
+}
+
+// labelOne builds, measures and labels one spec with panic containment
+// and an optional deadline. It returns either the record or a
+// quarantine entry; it never panics and never blocks past the deadline.
+func labelOne(ctx context.Context, lab *machine.Labeler, spec synthgen.Spec, index int, timeout time.Duration) (Record, *QuarantineEntry) {
+	if timeout <= 0 {
+		// No deadline: run inline (cancellation is checked between
+		// matrices by the caller; Go cannot preempt a hot loop anyway).
+		out := labelSpec(ctx, lab, spec, index)
+		return out.rec, quarantineFor(spec, index, out)
+	}
+	ch := make(chan labelOutcome, 1)
+	go func() { ch <- labelSpec(ctx, lab, spec, index) }()
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case out := <-ch:
+		return out.rec, quarantineFor(spec, index, out)
+	case <-deadline:
+		return Record{}, &QuarantineEntry{
+			Index: index, Spec: spec, Stage: StageLabel,
+			Error: fmt.Sprintf("%v after %v", ErrMatrixTimeout, timeout), Timeout: true,
+		}
+	case <-ctx.Done():
+		return Record{}, &QuarantineEntry{
+			Index: index, Spec: spec, Stage: StageLabel, Error: ctx.Err().Error(),
+		}
+	}
+}
+
+func quarantineFor(spec synthgen.Spec, index int, out labelOutcome) *QuarantineEntry {
+	if out.err == nil {
+		return nil
+	}
+	return &QuarantineEntry{
+		Index: index, Spec: spec, Stage: out.stage,
+		Error: out.err.Error(), Panic: out.panic,
+	}
+}
+
+// labelSpec is the contained unit of work: build the matrix, compute
+// stats, label. Panics at any stage are recovered into the outcome.
+func labelSpec(ctx context.Context, lab *machine.Labeler, spec synthgen.Spec, index int) (out labelOutcome) {
+	out.stage = StageBuild
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = fmt.Errorf("panic: %v", r)
+			out.panic = true
+		}
+	}()
+	if err := faultinject.InjectCtx(ctx, faultinject.PointLabelStall); err != nil {
+		out.stage = StageLabel
+		out.err = err
+		return out
+	}
+	if err := faultinject.Inject(faultinject.PointLabelPanic); err != nil {
+		out.stage = StageLabel
+		out.err = err
+		return out
+	}
+	m := synthgen.Build(spec)
+	out.stage = StageStats
+	st := sparse.ComputeStats(m)
+	if st.NNZ == 0 {
+		out.err = fmt.Errorf("generated matrix is empty (%dx%d)", st.Rows, st.Cols)
+		return out
+	}
+	out.stage = StageLabel
+	label, times := lab.Label(st, uint64(index))
+	out.rec = Record{ID: uint64(index), Spec: spec, Stats: st, Label: label, Times: times}
+	return out
+}
+
+// Relabel returns a copy of the dataset with labels and times collected
+// on a different platform — the cross-architecture migration setting of
+// Section 6. Stats and specs are reused; only labels change.
+func (d *Dataset) Relabel(lab *machine.Labeler) *Dataset {
+	out, err := d.RelabelCtx(context.Background(), lab, 0)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: Relabel: %v", err))
+	}
+	return out
+}
+
+// RelabelCtx is Relabel parallelised over a panic-safe worker pool with
+// cooperative cancellation: label collection on a second platform is as
+// expensive as the first, so it gets the same containment and the same
+// Ctrl-C behaviour.
+func (d *Dataset) RelabelCtx(ctx context.Context, lab *machine.Labeler, workers int) (*Dataset, error) {
+	out := &Dataset{Platform: lab.Platform.Name, Formats: lab.Platform.FormatSet()}
+	if len(lab.Formats) > 0 {
+		out.Formats = lab.Formats
+	}
+	out.Records = make([]Record, len(d.Records))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(d.Records) {
+		workers = len(d.Records)
+	}
+	var next atomic.Int64
+	err := robust.WorkersCtx(ctx, workers, func(wctx context.Context, _ int) error {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(d.Records) {
+				return nil
+			}
+			if err := wctx.Err(); err != nil {
+				return err
+			}
+			r := d.Records[i]
+			label, times := lab.Label(r.Stats, r.ID)
+			out.Records[i] = Record{ID: r.ID, Spec: r.Spec, Stats: r.Stats, Label: label, Times: times}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,373 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+)
+
+// The corpus build journal: a directory of atomically written,
+// CRC-enveloped shard files plus a manifest, so a label collection
+// killed at any instant (kill -9 included) resumes by re-running only
+// the shards that never landed. Layout:
+//
+//	manifest.bin     envelope(EnvelopeDatasetManifest, JSON manifest)
+//	shard-00042.bin  envelope(EnvelopeDatasetShard, gob shardBlob)
+//	quarantine.jsonl one JSON line per quarantined matrix (rewritten
+//	                 from the shard journal when the build completes)
+//	report.jsonl     one JSON line appended per completed build
+//
+// Every write is temp+fsync+rename (via nn.WriteEnvelopeFile), so a
+// crash leaves either the previous file or the new one, never a torn
+// hybrid; resume validates each shard's envelope CRC, embedded config
+// fingerprint, index and record count before trusting it, and simply
+// re-runs anything that fails — corruption costs one shard of work,
+// not the corpus.
+const (
+	manifestFile   = "manifest.bin"
+	quarantineFile = "quarantine.jsonl"
+	reportFile     = "report.jsonl"
+)
+
+func shardFile(index int) string { return fmt.Sprintf("shard-%05d.bin", index) }
+
+// buildFingerprint pins every input that determines shard contents. A
+// resume against a journal with a different fingerprint is refused:
+// mixing shards from two configurations would silently assemble a
+// corpus no single run could have produced.
+type buildFingerprint struct {
+	Count      int
+	Seed       int64
+	MaxN       int
+	ShardSize  int
+	Platform   string
+	Formats    []sparse.Format
+	NoiseSigma float64
+	LabelSeed  int64
+}
+
+func fingerprintFor(cfg Config, lab *machine.Labeler) buildFingerprint {
+	formats := lab.Formats
+	if len(formats) == 0 {
+		formats = lab.Platform.FormatSet()
+	}
+	return buildFingerprint{
+		Count: cfg.Count, Seed: cfg.Seed, MaxN: cfg.MaxN, ShardSize: cfg.ShardSize,
+		Platform: lab.Platform.Name, Formats: formats,
+		NoiseSigma: lab.NoiseSigma, LabelSeed: lab.Seed,
+	}
+}
+
+// hash64 condenses the fingerprint for embedding in shard blobs, so an
+// orphaned shard (written but killed before its manifest update) can
+// still prove which build it belongs to.
+func (fp buildFingerprint) hash64() uint64 {
+	b, _ := json.Marshal(fp)
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// shardBlob is the journaled unit of work: the records and quarantine
+// entries of one contiguous spec range.
+type shardBlob struct {
+	FP          uint64 // buildFingerprint.hash64 of the owning build
+	Index       int
+	Specs       int // spec count covered (records + quarantined)
+	Records     []Record
+	Quarantined []QuarantineEntry
+}
+
+// manifest is the journal's table of contents.
+type manifest struct {
+	Version     int
+	Fingerprint buildFingerprint
+	NumShards   int
+	Shards      []shardEntry
+}
+
+// shardEntry records one completed shard with the CRC-32C of its file
+// bytes, cross-checking the envelope's own payload CRC on resume.
+type shardEntry struct {
+	Index       int
+	Records     int
+	Quarantined int
+	CRC         uint32
+}
+
+// journal manages the on-disk build state for one GenerateCtx run.
+type journal struct {
+	dir string
+	fp  buildFingerprint
+
+	mu  sync.Mutex
+	man manifest
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// openJournal prepares dir for a build. With resume set it loads the
+// existing manifest (refusing fingerprint mismatches with ErrMismatch)
+// and returns the validated completed shards; otherwise it resets the
+// journal to empty. The returned map holds only shards that passed
+// every integrity check.
+func openJournal(dir string, fp buildFingerprint, numShards int, resume bool) (*journal, map[int]*shardBlob, int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("dataset: journal: %w", err)
+	}
+	j := &journal{dir: dir, fp: fp}
+	j.man = manifest{Version: 1, Fingerprint: fp, NumShards: numShards}
+	if !resume {
+		// Fresh build: drop any previous journal state so stale shards
+		// cannot leak into this run's corpus.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("dataset: journal: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if name == manifestFile || name == quarantineFile ||
+				(len(name) > 6 && name[:6] == "shard-") {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+		if err := j.writeManifest(); err != nil {
+			return nil, nil, 0, err
+		}
+		return j, map[int]*shardBlob{}, 0, nil
+	}
+
+	prev, err := readManifest(filepath.Join(dir, manifestFile))
+	switch {
+	case err == nil:
+		if prev.Fingerprint.hash64() != fp.hash64() {
+			return nil, nil, 0, fmt.Errorf("%w: journal %s was built with a different configuration (count/seed/maxn/shard-size/platform/noise must match)", ErrMismatch, dir)
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// No manifest yet (killed before the first shard, or a fresh
+		// dir): resume degenerates to a fresh build.
+	default:
+		// Unreadable or corrupt manifest: the shard files are still
+		// individually self-validating, so rebuild the manifest from
+		// whatever shards survive the checks below.
+	}
+
+	done := map[int]*shardBlob{}
+	rebuilt := 0
+	for idx := 0; idx < numShards; idx++ {
+		path := filepath.Join(dir, shardFile(idx))
+		blob, err := readShard(path, fp, idx)
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				// Present but untrustworthy: remove it so the re-run's
+				// atomic rewrite starts clean, and count the self-heal.
+				os.Remove(path)
+				rebuilt++
+			}
+			continue
+		}
+		done[idx] = blob
+	}
+	// Rebuild the manifest to exactly the shards we trust.
+	for _, idx := range sortedKeys(done) {
+		b := done[idx]
+		crc, err := fileCRC(filepath.Join(dir, shardFile(idx)))
+		if err != nil {
+			delete(done, idx)
+			continue
+		}
+		j.man.Shards = append(j.man.Shards, shardEntry{
+			Index: idx, Records: len(b.Records), Quarantined: len(b.Quarantined), CRC: crc,
+		})
+	}
+	if err := j.writeManifest(); err != nil {
+		return nil, nil, 0, err
+	}
+	return j, done, rebuilt, nil
+}
+
+func sortedKeys(m map[int]*shardBlob) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func fileCRC(path string) (uint32, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(b, crcTable), nil
+}
+
+// writeShard journals one completed shard atomically and records it in
+// the manifest. The faultinject point dataset.shard.corrupt flips a
+// byte in the written file afterwards — the torn-write drill resume
+// must survive.
+func (j *journal) writeShard(b *shardBlob) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return fmt.Errorf("dataset: journal: encoding shard %d: %w", b.Index, err)
+	}
+	path := filepath.Join(j.dir, shardFile(b.Index))
+	if err := nn.WriteEnvelopeFile(path, nn.EnvelopeDatasetShard, buf.Bytes()); err != nil {
+		return fmt.Errorf("dataset: journal: shard %d: %w", b.Index, err)
+	}
+	if err := faultinject.Inject(faultinject.PointShardCorrupt); err != nil {
+		corruptFile(path)
+	}
+	crc, err := fileCRC(path)
+	if err != nil {
+		return fmt.Errorf("dataset: journal: shard %d: %w", b.Index, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.man.Shards = append(j.man.Shards, shardEntry{
+		Index: b.Index, Records: len(b.Records), Quarantined: len(b.Quarantined), CRC: crc,
+	})
+	sort.Slice(j.man.Shards, func(a, c int) bool { return j.man.Shards[a].Index < j.man.Shards[c].Index })
+	return j.writeManifest()
+}
+
+// corruptFile flips one payload byte in place (chaos testing only).
+func corruptFile(path string) {
+	b, err := os.ReadFile(path)
+	if err != nil || len(b) == 0 {
+		return
+	}
+	b[len(b)/2] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+}
+
+// writeManifest publishes the manifest atomically inside its own
+// CRC'd envelope. Callers hold j.mu (or have exclusive access).
+func (j *journal) writeManifest() error {
+	payload, err := json.Marshal(j.man)
+	if err != nil {
+		return fmt.Errorf("dataset: journal: manifest: %w", err)
+	}
+	if err := nn.WriteEnvelopeFile(filepath.Join(j.dir, manifestFile), nn.EnvelopeDatasetManifest, payload); err != nil {
+		return fmt.Errorf("dataset: journal: manifest: %w", err)
+	}
+	return nil
+}
+
+func readManifest(path string) (*manifest, error) {
+	payload, err := nn.ReadEnvelopeFile(path, nn.EnvelopeDatasetManifest)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: manifest %s: %v", ErrCorrupt, path, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest %s: %v", ErrCorrupt, path, err)
+	}
+	return &m, nil
+}
+
+// readShard loads and fully validates one journaled shard: envelope CRC
+// via ReadEnvelopeFile, then build fingerprint and index embedded in
+// the blob. Any failure other than "file absent" means the shard cannot
+// be trusted and must be re-run.
+func readShard(path string, fp buildFingerprint, wantIndex int) (*shardBlob, error) {
+	payload, err := nn.ReadEnvelopeFile(path, nn.EnvelopeDatasetShard)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: shard %s: %v", ErrCorrupt, path, err)
+	}
+	var b shardBlob
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&b); err != nil {
+		return nil, fmt.Errorf("%w: shard %s: %v", ErrCorrupt, path, err)
+	}
+	if b.FP != fp.hash64() {
+		return nil, fmt.Errorf("%w: shard %s belongs to a different build", ErrCorrupt, path)
+	}
+	if b.Index != wantIndex {
+		return nil, fmt.Errorf("%w: shard %s holds index %d, want %d", ErrCorrupt, path, b.Index, wantIndex)
+	}
+	if len(b.Records)+len(b.Quarantined) != b.Specs {
+		return nil, fmt.Errorf("%w: shard %s covers %d specs but holds %d results",
+			ErrCorrupt, path, b.Specs, len(b.Records)+len(b.Quarantined))
+	}
+	return &b, nil
+}
+
+// writeQuarantine atomically rewrites quarantine.jsonl from the
+// authoritative shard journal — one JSON line per quarantined matrix.
+// Rewriting (rather than appending live) keeps the file duplicate-free
+// across resumes: a shard interrupted and re-run contributes its
+// entries exactly once.
+func (j *journal) writeQuarantine(entries []QuarantineEntry) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("dataset: journal: quarantine: %w", err)
+		}
+	}
+	return atomicWriteFile(filepath.Join(j.dir, quarantineFile), buf.Bytes())
+}
+
+// appendReport appends one JSON line describing the completed build.
+func (j *journal) appendReport(r *BuildReport) error {
+	f, err := os.OpenFile(filepath.Join(j.dir, reportFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("dataset: journal: report: %w", err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(r); err != nil {
+		return fmt.Errorf("dataset: journal: report: %w", err)
+	}
+	return f.Sync()
+}
+
+// atomicWriteFile is temp+fsync+rename for non-enveloped journal
+// side files.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+)
+
+func TestSaveDeterministic(t *testing.T) {
+	d := smallDataset(t)
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.bin")
+	b := filepath.Join(dir, "b.bin")
+	if err := d.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(b); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("two saves of the same dataset differ; gob map nondeterminism has leaked into the wire format")
+	}
+}
+
+func TestLoadRejectsLegacyRawGob(t *testing.T) {
+	// A pre-envelope corpus file: raw gob straight to disk. Load must
+	// refuse it as corrupt (with a regeneration hint), never feed
+	// unchecksummed bytes to the trainer.
+	d := smallDataset(t)
+	path := filepath.Join(t.TempDir(), "legacy.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(d); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = Load(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := nn.WriteEnvelopeFile(path, nn.EnvelopeSelector, []byte("not a dataset")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadValidatedPlatformMismatch(t *testing.T) {
+	d := smallDataset(t) // xeonlike labels
+	path := filepath.Join(t.TempDir(), "d.bin")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadValidated(path, machine.NewLabeler(machine.A8Like(), 1)); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+	if _, err := LoadValidated(path, machine.NewLabeler(machine.XeonLike(), 1)); err != nil {
+		t.Fatalf("matching platform rejected: %v", err)
+	}
+}
+
+func TestLoadValidatedFormatSetMismatch(t *testing.T) {
+	d := smallDataset(t)
+	path := filepath.Join(t.TempDir(), "d.bin")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	lab := machine.NewLabeler(machine.XeonLike(), 1)
+	lab.Formats = d.Formats[:len(d.Formats)-1] // narrower selection set
+	if _, err := LoadValidated(path, lab); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestValidateCatchesSemanticDamage(t *testing.T) {
+	base := smallDataset(t)
+	cases := []struct {
+		name   string
+		damage func(d *Dataset)
+	}{
+		{"label outside format set", func(d *Dataset) { d.Records[0].Label = sparse.Format(99) }},
+		{"nan time", func(d *Dataset) { d.Records[0].Times[d.Records[0].Label] = math.NaN() }},
+		{"negative time", func(d *Dataset) { d.Records[0].Times[d.Records[0].Label] = -1 }},
+		{"zero rows", func(d *Dataset) { d.Records[0].Stats.Rows = 0 }},
+		{"nnz beyond dims", func(d *Dataset) { d.Records[0].Stats.NNZ = d.Records[0].Stats.Rows*d.Records[0].Stats.Cols + 1 }},
+		{"spec family out of range", func(d *Dataset) { d.Records[0].Spec.Family = 99 }},
+		{"empty platform", func(d *Dataset) { d.Platform = "" }},
+		{"no records", func(d *Dataset) { d.Records = nil }},
+		{"duplicate format", func(d *Dataset) { d.Formats = append(d.Formats, d.Formats[0]) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := clone(t, base)
+			tc.damage(d)
+			if err := d.Validate(); !errors.Is(err, ErrInvalid) {
+				t.Fatalf("err = %v, want ErrInvalid", err)
+			}
+		})
+	}
+	// +Inf is the legal "conversion refused" sentinel, not damage.
+	d := clone(t, base)
+	for f := range d.Records[0].Times {
+		if f != d.Records[0].Label {
+			d.Records[0].Times[f] = math.Inf(1)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("+Inf time rejected: %v", err)
+	}
+}
+
+// clone round-trips through the wire form for a deep copy.
+func clone(t *testing.T, d *Dataset) *Dataset {
+	t.Helper()
+	out, err := fromWire(toWire(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Platform, out.Formats = d.Platform, append([]sparse.Format(nil), d.Formats...)
+	return out
+}
+
+// FuzzLoadDataset hammers Load with mutations of a valid corpus file:
+// truncations, bit flips, and arbitrary garbage. The invariant is that
+// Load never panics and never returns a dataset without also passing
+// semantic validation — damage must surface as a typed error.
+func FuzzLoadDataset(f *testing.F) {
+	lab := machine.NewLabeler(machine.XeonLike(), 3)
+	d := Generate(Config{Count: 8, Seed: 3, MaxN: 128}, lab)
+	path := filepath.Join(f.TempDir(), "seed.bin")
+	if err := d.Save(path); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:16])
+	f.Add([]byte{})
+	f.Add([]byte("SMFS garbage"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.bin")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		d, err := Load(p)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrInvalid) {
+				t.Fatalf("untyped load error: %v", err)
+			}
+			return
+		}
+		// Anything Load accepts must satisfy the semantic invariants.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Load returned an invalid dataset: %v", err)
+		}
+	})
+}

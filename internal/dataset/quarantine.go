@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/synthgen"
+)
+
+// Build stages a matrix can be quarantined at.
+const (
+	StageBuild = "build" // synthgen.Build of the spec
+	StageStats = "stats" // structural statistics
+	StageLabel = "label" // per-format timing + argmin
+)
+
+// QuarantineEntry records one matrix that failed to build or label:
+// the spec (enough to reproduce the failure offline), the stage and
+// error, and whether the failure was a panic or a deadline. Entries are
+// journaled inside their shard and rewritten to quarantine.jsonl when
+// the build completes, so a multi-hour label collection survives a
+// poison matrix and still tells the operator exactly what it skipped.
+type QuarantineEntry struct {
+	Index   int           `json:"index"` // position in the sampled spec list
+	Spec    synthgen.Spec `json:"spec"`
+	Stage   string        `json:"stage"`
+	Error   string        `json:"error"`
+	Panic   bool          `json:"panic,omitempty"`
+	Timeout bool          `json:"timeout,omitempty"`
+}
+
+// Typed build-abort errors. Quarantine is the containment path; these
+// are the escalation paths when containment itself signals the build is
+// not worth finishing.
+var (
+	// ErrTooManyQuarantined aborts a build whose quarantine fraction
+	// exceeded Config.MaxQuarantineFrac — when a quarter of the corpus is
+	// failing, the problem is systemic, not a few poison matrices, and
+	// burning machine-days on the remainder helps nobody.
+	ErrTooManyQuarantined = errors.New("dataset: too many matrices quarantined")
+	// ErrBreakerTripped aborts a build after Config.BreakerThreshold
+	// consecutive failures — consecutive (as opposed to scattered)
+	// failures mean the labeler itself is sick.
+	ErrBreakerTripped = errors.New("dataset: labeling breaker tripped on consecutive failures")
+	// ErrMatrixTimeout is the per-matrix quarantine reason when labeling
+	// exceeds Config.MatrixTimeout.
+	ErrMatrixTimeout = errors.New("dataset: per-matrix deadline exceeded")
+)
+
+// BuildReport summarises one GenerateCtx run — appended as a single
+// JSON line to <journal>/report.jsonl and returned to the caller.
+type BuildReport struct {
+	Platform      string  `json:"platform"`
+	Count         int     `json:"count"`
+	ShardSize     int     `json:"shard_size"`
+	Shards        int     `json:"shards"`
+	ResumedShards int     `json:"resumed_shards"` // trusted from the journal, skipped
+	HealedShards  int     `json:"healed_shards"`  // present but corrupt, re-run
+	Records       int     `json:"records"`
+	Quarantined   int     `json:"quarantined"`
+	ElapsedSec    float64 `json:"elapsed_seconds"`
+	LabelsPerSec  float64 `json:"labels_per_second"`
+}
+
+func (r *BuildReport) String() string {
+	return fmt.Sprintf("built %d/%d records in %d shards (%d resumed, %d healed, %d quarantined) in %.2fs (%.1f labels/s)",
+		r.Records, r.Count, r.Shards, r.ResumedShards, r.HealedShards, r.Quarantined, r.ElapsedSec, r.LabelsPerSec)
+}

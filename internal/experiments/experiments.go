@@ -39,6 +39,15 @@ type Options struct {
 	// comparison; GPU and cross-platform experiments keep model labels.
 	WallClock bool
 
+	// CPUData, when non-nil, is a pre-built xeonlike corpus (a gendata
+	// artifact loaded and validated by the caller) used verbatim by the
+	// CPU experiments instead of generating one — label collection is
+	// the expensive stage, so reusing a journaled corpus across
+	// experiment runs is the whole point of gendata. WallClock is
+	// ignored on this path (the corpus keeps the labels it was built
+	// with).
+	CPUData *dataset.Dataset
+
 	// Fig 9 controls.
 	RetrainSizes []int
 	// Fig 11 controls.
@@ -83,6 +92,9 @@ func (o Options) cnnConfig(kind represent.Kind, formats []sparse.Format) selecto
 // experiments; with WallClock set, labels come from minimum-of-9
 // wall-clock timings of the parallel Go kernels on the host.
 func (o Options) cpuDataset() *dataset.Dataset {
+	if o.CPUData != nil {
+		return o.CPUData
+	}
 	lab := machine.NewLabeler(machine.XeonLike(), o.Seed)
 	d := dataset.Generate(dataset.Config{Count: o.Count, Seed: o.Seed, MaxN: o.MaxN, Workers: o.Workers}, lab)
 	if o.WallClock {

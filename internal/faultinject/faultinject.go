@@ -39,6 +39,18 @@ const (
 	// PointParseStall delays inside the MatrixMarket scan loop — the
 	// slow-loris request body fault; it honours the request context.
 	PointParseStall = "sparse.parse.stall"
+	// PointLabelPanic panics inside the per-matrix build/label step of
+	// corpus generation — the poison-matrix fault that must be
+	// quarantined, not abort a multi-hour label collection.
+	PointLabelPanic = "dataset.label.panic"
+	// PointLabelStall delays inside the per-matrix build/label step —
+	// the pathological-matrix fault the -matrix-timeout deadline must
+	// contain.
+	PointLabelStall = "dataset.label.stall"
+	// PointShardCorrupt flips a byte in a freshly journaled shard file —
+	// the torn-write fault resume must detect via the envelope CRC and
+	// self-heal by re-running the shard.
+	PointShardCorrupt = "dataset.shard.corrupt"
 )
 
 // Fault describes what an armed point does when reached: sleep for

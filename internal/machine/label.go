@@ -1,9 +1,12 @@
 package machine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/sparse"
@@ -90,11 +93,135 @@ func hashString(s string) uint64 {
 	return h
 }
 
-// Measure times one real SpMV iteration of m with the Go kernels on the
-// host machine: the wall-clock labelling path. It runs `repeats`
-// iterations (after one warmup) and returns the minimum per-iteration
-// time in seconds, the standard robust estimator for short kernels.
+// MeasureOpts configures wall-clock kernel measurement.
+type MeasureOpts struct {
+	// Workers is the SpMV kernel parallelism (0 = serial heuristic of
+	// the kernel itself).
+	Workers int
+	// Repeats is the number of timed samples (default 9).
+	Repeats int
+	// Warmup is the number of untimed iterations before sampling
+	// (default 1) — the first run pays cache-fill and page-fault costs
+	// that have nothing to do with the format.
+	Warmup int
+	// Timeout bounds the whole measurement (warmup + samples); 0 means
+	// none. On expiry the measuring goroutine is abandoned (Go cannot
+	// preempt a hot kernel) and ErrMeasureTimeout is returned, so one
+	// pathological format cannot hang a labeling harness.
+	Timeout time.Duration
+}
+
+func (o *MeasureOpts) defaults() {
+	if o.Repeats < 1 {
+		o.Repeats = 9
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	} else if o.Warmup == 0 {
+		o.Warmup = 1
+	}
+}
+
+// ErrMeasureTimeout reports that a kernel measurement exceeded its
+// deadline; callers treat the format as non-competitive (+Inf) rather
+// than hanging the harness on it.
+var ErrMeasureTimeout = errors.New("machine: measurement deadline exceeded")
+
+// RobustEstimate condenses repeated timing samples into one number:
+// samples further than 3 scaled-MAD from the median are rejected as
+// outliers (GC pauses, scheduler preemption, a neighbour stealing the
+// core), and the mean of the survivors is returned. Compared to the
+// bare min-of-N this estimator is stable under both positive spikes
+// and the occasional too-good-to-be-true sample from a warm branch
+// predictor, which matters when labels feed a training corpus: a label
+// is a comparison between estimates, and min-of-N has no variance
+// control at small N. Shared by the labeler (MeasureLabel) and the
+// spmvbench harness so both report the same statistic.
+func RobustEstimate(samples []float64) float64 {
+	switch len(samples) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return samples[0]
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	med := median(sorted)
+	dev := make([]float64, len(sorted))
+	for i, s := range sorted {
+		dev[i] = math.Abs(s - med)
+	}
+	sort.Float64s(dev)
+	// 1.4826 scales MAD to the standard deviation under normality.
+	cutoff := 3 * 1.4826 * median(dev)
+	if cutoff == 0 {
+		// Degenerate spread (identical samples, or >half identical):
+		// fall back to a small relative tolerance around the median.
+		cutoff = 0.05 * med
+	}
+	sum, n := 0.0, 0
+	for _, s := range sorted {
+		if math.Abs(s-med) <= cutoff {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return med
+	}
+	return sum / float64(n)
+}
+
+// median of a sorted slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Measure times real SpMV iterations of m with the Go kernels on the
+// host machine: the wall-clock labelling path. It runs `repeats` timed
+// iterations after a warmup and returns the MAD-trimmed mean in
+// seconds (see RobustEstimate).
 func Measure(m sparse.Matrix, workers, repeats int) float64 {
+	sec, err := MeasureCtx(context.Background(), m, MeasureOpts{Workers: workers, Repeats: repeats})
+	if err != nil {
+		// Unreachable without a timeout or cancellation.
+		panic(err)
+	}
+	return sec
+}
+
+// MeasureCtx is Measure with a deadline and cancellation: the sampling
+// loop runs in its own goroutine, and expiry of opts.Timeout or ctx
+// abandons it with ErrMeasureTimeout / ctx.Err().
+func MeasureCtx(ctx context.Context, m sparse.Matrix, opts MeasureOpts) (float64, error) {
+	opts.defaults()
+	if opts.Timeout <= 0 && ctx.Done() == nil {
+		return measure(m, opts), nil
+	}
+	ch := make(chan float64, 1)
+	go func() { ch <- measure(m, opts) }()
+	var deadline <-chan time.Time
+	if opts.Timeout > 0 {
+		t := time.NewTimer(opts.Timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case sec := <-ch:
+		return sec, nil
+	case <-deadline:
+		return 0, fmt.Errorf("%w (%v)", ErrMeasureTimeout, opts.Timeout)
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// measure runs the warmup + sampling loop synchronously.
+func measure(m sparse.Matrix, opts MeasureOpts) float64 {
 	rows, cols := m.Dims()
 	x := make([]float64, cols)
 	for i := range x {
@@ -105,19 +232,16 @@ func Measure(m sparse.Matrix, workers, repeats int) float64 {
 	if err != nil {
 		panic(err)
 	}
-	if repeats < 1 {
-		repeats = 1
+	for w := 0; w < opts.Warmup; w++ {
+		k.Mul(y, m, x, opts.Workers)
 	}
-	k.Mul(y, m, x, workers) // warmup
-	best := math.Inf(1)
-	for r := 0; r < repeats; r++ {
+	samples := make([]float64, opts.Repeats)
+	for r := range samples {
 		start := time.Now()
-		k.Mul(y, m, x, workers)
-		if d := time.Since(start).Seconds(); d < best {
-			best = d
-		}
+		k.Mul(y, m, x, opts.Workers)
+		samples[r] = time.Since(start).Seconds()
 	}
-	return best
+	return RobustEstimate(samples)
 }
 
 // MeasureLabel labels a matrix by real wall-clock measurement across the
@@ -128,10 +252,22 @@ func Measure(m sparse.Matrix, workers, repeats int) float64 {
 // non-competitive and real auto-tuners refuse the conversion for the
 // same reason.
 func MeasureLabel(c *sparse.COO, formats []sparse.Format, workers, repeats int) (sparse.Format, map[sparse.Format]float64, error) {
+	return MeasureLabelCtx(context.Background(), c, formats, MeasureOpts{Workers: workers, Repeats: repeats})
+}
+
+// MeasureLabelCtx is MeasureLabel with per-format deadlines and
+// cancellation. A format that exceeds opts.Timeout is recorded as +Inf
+// — non-competitive by fiat, exactly like a refused conversion — so one
+// pathological (matrix, format) pair cannot stall corpus labeling;
+// cancellation of ctx aborts the whole matrix with ctx.Err().
+func MeasureLabelCtx(ctx context.Context, c *sparse.COO, formats []sparse.Format, opts MeasureOpts) (sparse.Format, map[sparse.Format]float64, error) {
 	st := sparse.ComputeStats(c)
 	times := make(map[sparse.Format]float64, len(formats))
 	best := sparse.Format(-1)
 	for _, f := range formats {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		if blowup(st, f) {
 			times[f] = math.Inf(1)
 			continue
@@ -140,7 +276,15 @@ func MeasureLabel(c *sparse.COO, formats []sparse.Format, workers, repeats int) 
 		if err != nil {
 			return 0, nil, err
 		}
-		times[f] = Measure(m, workers, repeats)
+		sec, err := MeasureCtx(ctx, m, opts)
+		switch {
+		case errors.Is(err, ErrMeasureTimeout):
+			times[f] = math.Inf(1)
+			continue
+		case err != nil:
+			return 0, nil, err
+		}
+		times[f] = sec
 		if best < 0 || times[f] < times[best] {
 			best = f
 		}

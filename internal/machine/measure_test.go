@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+func TestRobustEstimateRejectsOutliers(t *testing.T) {
+	// Nine tight samples around 1.0 plus a 50x GC-pause spike: the
+	// estimate must stay near the cluster, where min-of-N or a plain
+	// mean would be dragged by the spike.
+	samples := []float64{1.00, 1.01, 0.99, 1.02, 0.98, 1.01, 1.00, 0.99, 50.0}
+	got := RobustEstimate(samples)
+	if got < 0.97 || got > 1.03 {
+		t.Fatalf("estimate %v not in the sample cluster", got)
+	}
+
+	// A too-good-to-be-true low outlier is rejected symmetrically.
+	samples = []float64{1.00, 1.01, 0.99, 1.02, 0.98, 1.01, 1.00, 0.99, 0.02}
+	if got := RobustEstimate(samples); got < 0.97 || got > 1.03 {
+		t.Fatalf("estimate %v dragged by low outlier", got)
+	}
+}
+
+func TestRobustEstimateDegenerate(t *testing.T) {
+	if got := RobustEstimate([]float64{2, 2, 2, 2}); got != 2 {
+		t.Fatalf("identical samples: %v", got)
+	}
+	if got := RobustEstimate([]float64{3.5}); got != 3.5 {
+		t.Fatalf("single sample: %v", got)
+	}
+	if got := RobustEstimate(nil); !math.IsNaN(got) {
+		t.Fatalf("empty samples: %v, want NaN", got)
+	}
+}
+
+func TestMeasureCtxTimeout(t *testing.T) {
+	m := sparse.MustConvert(synthgen.Banded(512, 4, 0.9, 1), sparse.FormatCSR)
+	// Enough repeats that the sampling loop cannot beat a 1ns deadline.
+	_, err := MeasureCtx(context.Background(), m, MeasureOpts{Repeats: 10000, Timeout: time.Nanosecond})
+	if !errors.Is(err, ErrMeasureTimeout) {
+		t.Fatalf("err = %v, want ErrMeasureTimeout", err)
+	}
+}
+
+func TestMeasureCtxCancelled(t *testing.T) {
+	m := sparse.MustConvert(synthgen.Banded(512, 4, 0.9, 1), sparse.FormatCSR)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MeasureCtx(ctx, m, MeasureOpts{Repeats: 10000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMeasureLabelCtxTimeoutIsNonCompetitive(t *testing.T) {
+	// A deadline every format blows: each must be recorded as +Inf...
+	c := synthgen.Banded(256, 4, 0.9, 1)
+	_, _, err := MeasureLabelCtx(context.Background(), c, sparse.AllFormats(),
+		MeasureOpts{Repeats: 10000, Timeout: time.Nanosecond})
+	if err == nil {
+		t.Fatal("expected all-skipped error when every format times out")
+	}
+
+	// ...and with a generous deadline the measurement succeeds.
+	label, times, err := MeasureLabelCtx(context.Background(), c, sparse.AllFormats(),
+		MeasureOpts{Repeats: 3, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(times[label], 1) {
+		t.Fatal("label assigned to a timed-out format")
+	}
+}
+
+func TestMeasureLabelCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := MeasureLabelCtx(ctx, synthgen.Banded(64, 2, 0.9, 1), sparse.AllFormats(), MeasureOpts{Repeats: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

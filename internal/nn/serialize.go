@@ -45,6 +45,16 @@ const (
 	// degradation rung the serving ladder falls back to when the CNN
 	// path is sick.
 	EnvelopeDTree
+	// EnvelopeDataset holds a labelled training corpus written by
+	// internal/dataset — label collection is the most expensive artifact
+	// in the pipeline, so it gets the same corruption armour as models.
+	EnvelopeDataset
+	// EnvelopeDatasetShard holds one journaled shard of an in-progress
+	// corpus build (crash-safe resume unit).
+	EnvelopeDatasetShard
+	// EnvelopeDatasetManifest holds the corpus build journal's manifest
+	// (config fingerprint plus the CRC'd list of completed shards).
+	EnvelopeDatasetManifest
 )
 
 // Typed envelope errors. Callers match with errors.Is to distinguish

@@ -8,6 +8,7 @@
 package robust
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -62,6 +63,39 @@ func Workers(n int, fn func(worker int) error) error {
 		}(i)
 	}
 	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// WorkersCtx is Workers with cooperative cancellation: every worker
+// receives a context derived from ctx that is cancelled as soon as any
+// sibling returns a non-nil error (or panics), so long fan-outs — a
+// corpus build, a batch relabel — stop pulling new work the moment one
+// worker trips an abort condition instead of running the queue dry.
+// Panics are contained exactly as in Workers. The returned error joins
+// every worker failure; when the parent ctx was cancelled, ctx.Err() is
+// included in the join so callers can errors.Is it.
+func WorkersCtx(ctx context.Context, n int, fn func(ctx context.Context, worker int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = protect(i, func(i int) error { return fn(wctx, i) })
+			if errs[i] != nil {
+				cancel() // wave siblings off new work
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
 	return errors.Join(errs...)
 }
 

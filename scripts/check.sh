@@ -23,11 +23,18 @@ go build ./...
 go vet ./...
 go run ./scripts/servesmoke
 
+# Corpus crash drill: build with the real gendata binary, SIGKILL it
+# mid-build, resume, and require the resumed dataset's checksum to
+# match an uninterrupted run — plus the quarantine (poison-matrix)
+# drill. See scripts/gendrill.
+go run ./scripts/gendrill
+
 # Fuzz smoke: a short native-fuzzing budget per hardened ingestion
 # surface. A clean run means no panic and no typed-error-taxonomy
 # violation found within the budget; regressions crash the script.
 go test -run='^$' -fuzz='^FuzzReadMatrixMarket$' -fuzztime=10s ./internal/sparse
 go test -run='^$' -fuzz='^FuzzPredictJSON$' -fuzztime=10s ./internal/serve
+go test -run='^$' -fuzz='^FuzzLoadDataset$' -fuzztime=10s ./internal/dataset
 
 if [[ "${SHORT:-0}" == "1" ]]; then
     go test -race -timeout 45m ./internal/...

@@ -1,0 +1,208 @@
+// Command gendrill is the CI crash drill for the corpus builder
+// (wired into scripts/check.sh / make check). The in-process chaos
+// suite (internal/dataset/chaos_test.go) proves the journal invariants
+// under cooperative cancellation; this drill proves them against the
+// real cmd/gendata binary with a real SIGKILL:
+//
+//  1. reference run: an uninterrupted build with a fixed seed,
+//     checksummed;
+//  2. kill run: the same build, journaled and slowed by the
+//     dataset.label.stall fault, SIGKILLed once at least two shards
+//     have landed on disk;
+//  3. resume run: `gendata -resume` must exit 0, reuse the journaled
+//     shards (not silently start over), and produce a dataset whose
+//     sha256 matches the reference byte for byte;
+//  4. quarantine run: with dataset.label.panic armed the build must
+//     still complete, report the poisoned matrices, and persist their
+//     specs + errors to quarantine.jsonl for offline forensics.
+//
+// With -dir the drill artifacts (journals, quarantine.jsonl,
+// report.jsonl) are kept there so CI can upload the quarantine report;
+// by default a temp dir is used and removed.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	dir := flag.String("dir", "", "keep drill artifacts in this directory (default: temp dir, removed)")
+	flag.Parse()
+	if err := run(*dir); err != nil {
+		fmt.Fprintln(os.Stderr, "gendrill: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("gendrill: PASS")
+}
+
+func run(dir string) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "gendrill")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	step("building cmd/gendata")
+	bin := filepath.Join(dir, "gendata")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/gendata").CombinedOutput(); err != nil {
+		return fmt.Errorf("go build: %v\n%s", err, out)
+	}
+
+	// One fixed build shape for every run: small enough for CI, sharded
+	// finely enough that a kill leaves real resume work behind.
+	common := []string{"-count", "240", "-maxn", "160", "-seed", "7", "-shard-size", "8", "-quiet"}
+	journal := filepath.Join(dir, "journal")
+
+	// 1. Uninterrupted reference build — the bytes every other run must
+	// reproduce.
+	step("reference build (uninterrupted)")
+	ref := filepath.Join(dir, "ref.gob")
+	if out, err := runGendata(bin, nil, append(common, "-out", ref)...); err != nil {
+		return fmt.Errorf("reference build: %v\n%s", err, out)
+	}
+	want, err := sha256File(ref)
+	if err != nil {
+		return err
+	}
+
+	// 2. Journaled build, SIGKILLed mid-flight. The stall fault slows
+	// every matrix by 25ms (workers pinned to 2 → ~200ms per shard) so
+	// the kill reliably lands while most shards are still pending.
+	step("journaled build, SIGKILL after >= 2 shards")
+	var killOut strings.Builder
+	kill := exec.Command(bin, append(append([]string{}, common...),
+		"-journal", journal, "-workers", "2", "-out", filepath.Join(dir, "killed.gob"))...)
+	kill.Stdout, kill.Stderr = &killOut, &killOut
+	kill.Env = append(os.Environ(), "GENDATA_FAULT_INJECT=dataset.label.stall@25ms")
+	if err := kill.Start(); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- kill.Wait() }()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		shards, _ := filepath.Glob(filepath.Join(journal, "shard-*.bin"))
+		if len(shards) >= 2 {
+			break
+		}
+		select {
+		case err := <-exited:
+			return fmt.Errorf("build exited (%v) before it could be killed; increase the stall delay\n%s", err, killOut.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			kill.Process.Kill()
+			<-exited
+			return fmt.Errorf("no shards journaled within 60s (saw %d)\n%s", len(shards), killOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := kill.Process.Kill(); err != nil {
+		return fmt.Errorf("kill -9: %v", err)
+	}
+	if err := <-exited; err == nil {
+		return fmt.Errorf("killed build exited cleanly — the kill landed too late to mean anything")
+	}
+	shards, _ := filepath.Glob(filepath.Join(journal, "shard-*.bin"))
+	fmt.Printf("gendrill: killed with %d shards journaled\n", len(shards))
+
+	// 3. Resume. Must reuse the journaled shards and reproduce the
+	// reference bytes exactly.
+	step("resume after kill")
+	resumed := filepath.Join(dir, "resumed.gob")
+	out, err := runGendata(bin, nil, append(common, "-journal", journal, "-resume", "-out", resumed)...)
+	if err != nil {
+		return fmt.Errorf("resume: %v\n%s", err, out)
+	}
+	n, err := resumedShards(out)
+	if err != nil {
+		return fmt.Errorf("resume output unparsable: %v\n%s", err, out)
+	}
+	if n < 2 {
+		return fmt.Errorf("resume reused %d shards, want >= 2 — it started over\n%s", n, out)
+	}
+	got, err := sha256File(resumed)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("resumed dataset is not byte-identical to the uninterrupted build (sha256 %x != %x)", got, want)
+	}
+	fmt.Printf("gendrill: resume reused %d shards, checksums match (%x)\n", n, want[:8])
+
+	// 4. Quarantine: three injected per-matrix panics must not abort
+	// the build, and must leave forensics in quarantine.jsonl.
+	step("quarantine drill (3 injected label panics)")
+	qjournal := filepath.Join(dir, "quarantine")
+	out, err = runGendata(bin, []string{"GENDATA_FAULT_INJECT=dataset.label.panic:3"},
+		append(common, "-journal", qjournal, "-out", filepath.Join(dir, "quarantined.gob"))...)
+	if err != nil {
+		return fmt.Errorf("quarantine build aborted: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "quarantined 3 matrices") {
+		return fmt.Errorf("expected 'quarantined 3 matrices' in output:\n%s", out)
+	}
+	if !strings.Contains(out, "labelled 237 matrices") {
+		return fmt.Errorf("expected the remaining 237 records to be labelled:\n%s", out)
+	}
+	qb, err := os.ReadFile(filepath.Join(qjournal, "quarantine.jsonl"))
+	if err != nil {
+		return fmt.Errorf("quarantine report: %v", err)
+	}
+	if lines := strings.Count(string(qb), "\n"); lines != 3 {
+		return fmt.Errorf("quarantine.jsonl has %d entries, want 3", lines)
+	}
+	if !strings.Contains(string(qb), `"panic":true`) {
+		return fmt.Errorf("quarantine.jsonl entries missing panic forensics: %s", qb)
+	}
+	if _, err := os.Stat(filepath.Join(qjournal, "report.jsonl")); err != nil {
+		return fmt.Errorf("build report: %v", err)
+	}
+	return nil
+}
+
+func step(s string) { fmt.Println("gendrill:", s) }
+
+// runGendata runs the built binary with extra environment and returns
+// its combined output.
+func runGendata(bin string, env []string, args ...string) (string, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+var resumedRE = regexp.MustCompile(`\((\d+) resumed`)
+
+// resumedShards parses the build-report line gendata prints, e.g.
+// "built 240/240 records in 30 shards (12 resumed, 0 healed, ...)".
+func resumedShards(out string) (int, error) {
+	m := resumedRE.FindStringSubmatch(out)
+	if m == nil {
+		return 0, fmt.Errorf("no build report line found")
+	}
+	return strconv.Atoi(m[1])
+}
+
+// sha256File is the drill's byte-identity check.
+func sha256File(path string) ([32]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(b), nil
+}
