@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check smoke gendrill fuzz bench
+.PHONY: build test check smoke gendrill clusterdrill fuzz bench
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ smoke:
 # and prove an injected poison matrix is quarantined rather than fatal.
 gendrill:
 	$(GO) run ./scripts/gendrill
+
+# clusterdrill runs only the cluster chaos drill: boot a router in
+# front of three serve replicas, replay heavy-tailed load, SIGKILL the
+# shard-owning replica mid-run, and require >= 99% success plus router
+# reconvergence once the victim restarts.
+clusterdrill:
+	$(GO) run ./scripts/clusterdrill
 
 # fuzz runs the native fuzz targets over the hardened ingestion
 # surfaces (MatrixMarket parsing and the predict request path). Budget

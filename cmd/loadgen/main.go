@@ -1,0 +1,204 @@
+// Command loadgen replays a heavy-tailed synthetic prediction workload
+// against a serve replica or cluster router and reports availability
+// and latency. It is the measurement half of the cluster chaos drill
+// (scripts/clusterdrill): the drill kills a replica mid-run and reads
+// the success rate off this tool's JSON report.
+//
+//	loadgen -url http://127.0.0.1:9090 -duration 10s -concurrency 8
+//
+// The workload is a fixed pool of synthgen mixture matrices with
+// Zipf-distributed popularity — a few hot sparsity patterns dominate,
+// like production traffic — which exercises the prediction cache, the
+// router's shard hints and the replicas' peer fill, not just the
+// forward pass.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+type report struct {
+	URL           string         `json:"url"`
+	Requests      int64          `json:"requests"`
+	Success       int64          `json:"success"`
+	TransportErrs int64          `json:"transport_errors"`
+	Codes         map[string]int `json:"codes"`
+	SuccessRate   float64        `json:"success_rate"`
+	CachedAnswers int64          `json:"cached_answers"`
+	P50Ms         float64        `json:"p50_ms"`
+	P95Ms         float64        `json:"p95_ms"`
+	P99Ms         float64        `json:"p99_ms"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	DurationSec   float64        `json:"duration_sec"`
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:9090", "target base URL (router or single replica)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run (ignored when -n > 0)")
+	n := flag.Int64("n", 0, "total request cap (0 = run for -duration)")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	matrices := flag.Int("matrices", 64, "distinct matrices in the workload pool")
+	maxN := flag.Int("maxn", 384, "largest matrix dimension in the pool")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf skew of matrix popularity (larger = hotter head)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	minSuccess := flag.Float64("min-success", 0, "exit nonzero when success_rate falls below this (0 disables)")
+	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
+	flag.Parse()
+
+	// Build the matrix pool once, bodies pre-marshalled: the generator
+	// must never be the bottleneck during the measured window.
+	specs := synthgen.SampleSpecs(*matrices, *seed, *maxN)
+	bodies := make([][]byte, len(specs))
+	for i, sp := range specs {
+		bodies[i] = marshalBody(synthgen.Build(sp))
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(bodies)-1))
+	// Pre-draw the popularity sequence so workers only do atomic reads.
+	const seqLen = 1 << 14
+	seq := make([]int, seqLen)
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		},
+	}
+
+	var (
+		next      atomic.Int64
+		success   atomic.Int64
+		transport atomic.Int64
+		cached    atomic.Int64
+
+		mu        sync.Mutex
+		codes     = map[string]int{}
+		latencies []float64
+	)
+	stopAt := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if *n > 0 && i >= *n {
+					return
+				}
+				if *n == 0 && time.Now().After(stopAt) {
+					return
+				}
+				body := bodies[seq[int(i)&(seqLen-1)]]
+				reqStart := time.Now()
+				res, err := client.Post(*url+"/v1/predict", "application/json", bytes.NewReader(body))
+				lat := time.Since(reqStart)
+				if err != nil {
+					transport.Add(1)
+					continue
+				}
+				var ans struct {
+					Cached bool `json:"cached"`
+				}
+				json.NewDecoder(res.Body).Decode(&ans)
+				res.Body.Close()
+				if res.StatusCode == http.StatusOK {
+					success.Add(1)
+					if ans.Cached {
+						cached.Add(1)
+					}
+				}
+				mu.Lock()
+				codes[fmt.Sprintf("%d", res.StatusCode)]++
+				latencies = append(latencies, float64(lat.Milliseconds())+float64(lat.Microseconds()%1000)/1000)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var failures int64
+	for code, c := range codes {
+		if code != "200" {
+			failures += int64(c)
+		}
+	}
+	total := success.Load() + failures + transport.Load()
+	rep := report{
+		URL:           *url,
+		Requests:      total,
+		Success:       success.Load(),
+		TransportErrs: transport.Load(),
+		Codes:         codes,
+		CachedAnswers: cached.Load(),
+		DurationSec:   elapsed.Seconds(),
+	}
+	if total > 0 {
+		rep.SuccessRate = float64(rep.Success) / float64(total)
+		rep.ThroughputRPS = float64(total) / elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	rep.P50Ms = percentile(latencies, 0.50)
+	rep.P95Ms = percentile(latencies, 0.95)
+	rep.P99Ms = percentile(latencies, 0.99)
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
+	os.Stdout.Write(enc)
+
+	if *minSuccess > 0 && rep.SuccessRate < *minSuccess {
+		fmt.Fprintf(os.Stderr, "loadgen: success rate %.4f below floor %.4f\n", rep.SuccessRate, *minSuccess)
+		os.Exit(1)
+	}
+}
+
+// marshalBody renders a COO as the serve JSON predict body.
+func marshalBody(m *sparse.COO) []byte {
+	type req struct {
+		Rows    int          `json:"rows"`
+		Cols    int          `json:"cols"`
+		Entries [][3]float64 `json:"entries"`
+	}
+	rows, cols := m.Dims()
+	entries := m.Entries()
+	r := req{Rows: rows, Cols: cols, Entries: make([][3]float64, len(entries))}
+	for i, e := range entries {
+		r.Entries[i] = [3]float64{float64(e.Row), float64(e.Col), e.Val}
+	}
+	b, _ := json.Marshal(r)
+	return b
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

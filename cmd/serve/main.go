@@ -69,6 +69,8 @@ func main() {
 	predictTimeout := flag.Duration("predict-timeout", 2*time.Second, "per-inference CNN deadline before degrading")
 	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "end-to-end deadline budget per request")
 	dtreePath := flag.String("dtree", "", "trained decision-tree artifact for the degraded rung (empty = built-in heuristic)")
+	selfURL := flag.String("self", "", "this replica's advertised base URL in a cluster (empty = derive from the listener)")
+	peerFillTimeout := flag.Duration("peer-fill-timeout", 150*time.Millisecond, "peer cache-fill deadline before failing open to local compute")
 	flag.Parse()
 
 	if spec := os.Getenv("SERVE_FAULT_INJECT"); spec != "" {
@@ -96,6 +98,8 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		DTreePath:        *dtreePath,
+		SelfURL:          *selfURL,
+		PeerFillTimeout:  *peerFillTimeout,
 		Log:              os.Stderr,
 	})
 	if err != nil {

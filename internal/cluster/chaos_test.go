@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+// The cluster chaos suite: induce replica death and sickness against
+// fake backends and assert the routing contract — availability holds,
+// ownership moves to the successor, recovery readmits the replica.
+// (The end-to-end variant against real serve binaries with a real
+// SIGKILL lives in scripts/clusterdrill.)
+
+// fingerprintedBody renders a predict body and the fingerprint the
+// router will derive from it.
+func fingerprintedBody(t *testing.T, seed int) ([]byte, uint64) {
+	t.Helper()
+	var entries []sparse.Entry
+	var raw [][3]float64
+	for i := 0; i < 6; i++ {
+		r, c := (i*7+seed)%16, (i*3+seed*5)%16
+		entries = append(entries, sparse.Entry{Row: r, Col: c, Val: 1})
+		raw = append(raw, [3]float64{float64(r), float64(c), 1})
+	}
+	m, err := sparse.NewCOO(16, 16, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(map[string]any{"rows": 16, "cols": 16, "entries": raw})
+	return b, sparse.Fingerprint(m)
+}
+
+func replicaByURL(rt *Router, url string) *Replica {
+	for _, rep := range rt.Replicas() {
+		if rep.URL() == url {
+			return rep
+		}
+	}
+	return nil
+}
+
+// TestClusterReplicaDeathFailover is the kill drill in miniature: the
+// shard owner dies mid-traffic; every request still gets a 200, the
+// dead replica leaves rotation within a few probe cycles, and the
+// shard's ownership moves to its rendezvous successor.
+func TestClusterReplicaDeathFailover(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	rt, ts := newTestRouter(t, nil, fakes...)
+
+	body, fp := fingerprintedBody(t, 3)
+	owner := rt.Owner(fp)
+	successor := rt.ring.rank(fp)[1].URL()
+
+	var victim *fakeReplica
+	for _, f := range fakes {
+		if f.url() == owner {
+			victim = f
+		}
+	}
+	if victim == nil {
+		t.Fatalf("owner %s not among fakes", owner)
+	}
+
+	// Warm traffic, then kill the owner outright (connection refused,
+	// like a SIGKILL).
+	if res, _ := postRouter(t, ts, body); res.StatusCode != http.StatusOK {
+		t.Fatal("warmup failed")
+	}
+	victim.ts.Close()
+
+	// Availability through the failure: every request answered 200.
+	for i := 0; i < 10; i++ {
+		res, data := postRouter(t, ts, body)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("req %d after kill: code %d body %s", i, res.StatusCode, data)
+		}
+	}
+	// The dead replica leaves rotation (probes + passive failures).
+	waitFor(t, 3*time.Second, func() bool {
+		return replicaByURL(rt, owner).state() == stateDown
+	})
+	// Ownership re-homes to the rendezvous successor.
+	if got := rt.Owner(fp); got != successor {
+		t.Fatalf("owner after death %s, want successor %s", got, successor)
+	}
+	// And requests no longer pay failover penalties: the hint and the
+	// first attempt both go to the successor.
+	page := scrapeRouter(t, ts)
+	before := metricSample(page, "router_retries_total")
+	for i := 0; i < 5; i++ {
+		if res, _ := postRouter(t, ts, body); res.StatusCode != http.StatusOK {
+			t.Fatalf("req %d after re-own: not 200", i)
+		}
+	}
+	page = scrapeRouter(t, ts)
+	if after := metricSample(page, "router_retries_total"); after != before {
+		t.Fatalf("still retrying after re-own: %g -> %g", before, after)
+	}
+}
+
+// TestClusterReplicaRecovery: a sick replica (failing probes) leaves
+// rotation, then heals; the breaker's half-open probes must readmit it
+// and ownership must move back.
+func TestClusterReplicaRecovery(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t), newFakeReplica(t)}
+	rt, _ := newTestRouter(t, nil, fakes...)
+
+	_, fp := fingerprintedBody(t, 9)
+	owner := rt.Owner(fp)
+	var victim *fakeReplica
+	for _, f := range fakes {
+		if f.url() == owner {
+			victim = f
+		}
+	}
+
+	victim.set(func(f *fakeReplica) { f.readyCode = http.StatusServiceUnavailable; f.readyBody = "not ready\n" })
+	waitFor(t, 3*time.Second, func() bool { return replicaByURL(rt, owner).state() == stateDown })
+	if rt.Owner(fp) == owner {
+		t.Fatal("down replica still owns its shard")
+	}
+
+	victim.set(func(f *fakeReplica) { f.readyCode = http.StatusOK; f.readyBody = "ready rung=cnn\n" })
+	// Recovery takes one cooldown plus HalfOpenProbes successful probes.
+	waitFor(t, 5*time.Second, func() bool { return replicaByURL(rt, owner).state() == stateHealthy })
+	if rt.Owner(fp) != owner {
+		t.Fatalf("healed replica did not re-own its shard: owner %s", rt.Owner(fp))
+	}
+}
+
+// TestClusterDegradedReplicaStaysInRotation: a replica reporting
+// rung=dtree is degraded, not down — it keeps serving and keeps its
+// shards, but the state gauge says 1.
+func TestClusterDegradedReplicaStaysInRotation(t *testing.T) {
+	f := newFakeReplica(t)
+	f.set(func(f *fakeReplica) { f.readyBody = "ready rung=dtree\n" })
+	rt, ts := newTestRouter(t, nil, f)
+
+	waitFor(t, 2*time.Second, func() bool { return rt.Replicas()[0].Rung() == "dtree" })
+	if got := rt.Replicas()[0].state(); got != stateDegraded {
+		t.Fatalf("state %d, want degraded (1)", got)
+	}
+	res, _ := postRouter(t, ts, predictBody(2))
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("degraded replica refused traffic: %d", res.StatusCode)
+	}
+	page := scrapeRouter(t, ts)
+	if v := metricSample(page, `router_replica_state{replica="`+f.url()+`"}`); v != 1 {
+		t.Fatalf("state gauge %g, want 1", v)
+	}
+}

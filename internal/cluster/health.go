@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Active health checking: the router probes every replica's /readyz on
+// a fixed cadence and feeds the outcomes into the same per-replica
+// breaker the passive per-request signals feed. The two signal paths
+// are deliberately asymmetric in what they are for — probes discover
+// recovery (a replica with no traffic routed to it would otherwise stay
+// condemned forever) and catch silent death between requests; passive
+// signals catch failures faster than any probe cadence can.
+
+// probeLoop runs until the router closes. Each tick probes all replicas
+// concurrently so one black-holing replica cannot delay the others'
+// probes past its timeout.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		rt.probeAll()
+		select {
+		case <-t.C:
+		case <-rt.quit:
+			return
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	done := make(chan struct{}, len(rt.ring.replicas))
+	for _, rep := range rt.ring.replicas {
+		go func(rep *Replica) {
+			rt.probeOne(rep)
+			done <- struct{}{}
+		}(rep)
+	}
+	for range rt.ring.replicas {
+		<-done
+	}
+}
+
+// probeOne health-checks one replica. Admission goes through the
+// replica's breaker: while the breaker is open the probe is skipped
+// until the cooldown admits a half-open probe, so a dead replica is
+// poked once per cooldown, not hammered every tick. The recovery path
+// needs HalfOpenProbes consecutive successes (probe or real request)
+// before the breaker closes and the replica rejoins rotation.
+func (rt *Router) probeOne(rep *Replica) {
+	defer func() { rt.met.replicaState.With(replicaLabel(rep.url)).SetInt(uint64(rep.state())) }()
+	if !rep.breaker.Allow() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err != nil {
+		rt.probeFailed(rep, err.Error())
+		return
+	}
+	res, err := rt.client.Do(req)
+	if err != nil {
+		rt.probeFailed(rep, err.Error())
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(res.Body, 256))
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		rt.probeFailed(rep, res.Status)
+		return
+	}
+	rep.breaker.Success()
+	rep.setRung(parseRung(string(body)))
+}
+
+func (rt *Router) probeFailed(rep *Replica, why string) {
+	before := rep.state()
+	rep.breaker.Failure()
+	rt.met.probeFailures.With(replicaLabel(rep.url)).Inc()
+	if after := rep.state(); after != before {
+		rt.logf("router: replica %s: probe failed (%s), state %d -> %d", rep.url, why, before, after)
+	}
+}
+
+// parseRung extracts the rung name from a replica readyz body of the
+// form "ready rung=cnn\n". An unparsable body reads as an unknown rung
+// (treated as healthy — old replicas answer a bare "ready").
+func parseRung(body string) string {
+	if i := strings.Index(body, "rung="); i >= 0 {
+		return strings.TrimSpace(body[i+len("rung="):])
+	}
+	return ""
+}

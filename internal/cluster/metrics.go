@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics is the router's instrument set, on its own obs registry
+// (scraped from the router's /metrics and its admin listener).
+type metrics struct {
+	reg *obs.Registry
+
+	requests      *obs.CounterVec   // code
+	latency       *obs.Histogram    // end-to-end, all attempts included
+	attempts      *obs.Histogram    // outbound attempts per request
+	retries       *obs.Counter      // relaunches after a failed attempt
+	failovers     *obs.Counter      // answers served by a non-owner replica
+	hedges        *obs.CounterVec   // outcome: win, lose
+	probeFailures *obs.CounterVec   // replica
+	replicaState  *obs.GaugeVec     // replica -> 0 healthy, 1 degraded, 2 down
+	peerFill      *obs.CounterVec   // outcome, relayed from replica X-Peer-Fill headers
+	proxyLatency  *obs.HistogramVec // replica -> one-attempt seconds
+}
+
+func newMetrics() *metrics {
+	r := obs.NewRegistry()
+	m := &metrics{reg: r}
+	m.requests = r.CounterVec("router_requests_total", "Routed requests by final status code.")
+	m.latency = r.Histogram("router_request_seconds", "End-to-end request latency through the router, retries and hedges included.", obs.DefLatencyBuckets())
+	m.attempts = r.Histogram("router_request_attempts", "Outbound attempts per routed request (1 = no retry or hedge).", []float64{1, 2, 3, 4, 5})
+	m.retries = r.Counter("router_retries_total", "Attempt relaunches after a failed or shed attempt.")
+	m.failovers = r.Counter("router_failovers_total", "Requests answered by a replica other than the shard owner.")
+	m.hedges = r.CounterVec("router_hedges_total", "Hedged attempts by outcome (win = hedge answered first).")
+	m.probeFailures = r.CounterVec("router_probe_failures_total", "Failed health probes, by replica.")
+	m.replicaState = r.GaugeVec("router_replica_state", "Replica health (0=healthy, 1=degraded, 2=down).")
+	m.peerFill = r.CounterVec("router_peer_fill_total", "Peer cache-fill outcomes relayed from replica responses.")
+	m.proxyLatency = r.HistogramVec("router_proxy_seconds", "Single-attempt proxy latency, by replica.", obs.DefLatencyBuckets())
+	started := time.Now()
+	r.GaugeFunc("router_uptime_seconds", "Seconds since the router started.", func() float64 {
+		return time.Since(started).Seconds()
+	})
+	obs.RuntimeGauges(r)
+	return m
+}
+
+func (m *metrics) request(code int, start time.Time, attempts int) {
+	m.requests.With(fmt.Sprintf("code=%q", strconv.Itoa(code))).Inc()
+	m.latency.ObserveSince(start)
+	m.attempts.Observe(float64(attempts))
+}
+
+// WriteTo renders the full metric set in Prometheus text format.
+func (m *metrics) WriteTo(w io.Writer) (int64, error) {
+	return m.reg.WriteTo(w)
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testRing(n int) *ring {
+	rg := &ring{}
+	for i := 0; i < n; i++ {
+		rg.replicas = append(rg.replicas, newReplica(fmt.Sprintf("http://replica-%d:8080", i), 3, time.Second, 1))
+	}
+	return rg
+}
+
+// TestRingRankDeterministic: the same fingerprint always ranks the same
+// way, and the rank is a permutation of the replica set.
+func TestRingRankDeterministic(t *testing.T) {
+	rg := testRing(5)
+	for fp := uint64(0); fp < 100; fp++ {
+		r1, r2 := rg.rank(fp*2654435761), rg.rank(fp*2654435761)
+		seen := map[*Replica]bool{}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("fp %d: rank not deterministic at %d", fp, i)
+			}
+			seen[r1[i]] = true
+		}
+		if len(seen) != len(rg.replicas) {
+			t.Fatalf("fp %d: rank is not a permutation", fp)
+		}
+	}
+}
+
+// TestRingOwnershipBalanced: over many fingerprints, ownership spreads
+// roughly evenly (each of 4 replicas owns 25%±10% of 4000 keys).
+func TestRingOwnershipBalanced(t *testing.T) {
+	rg := testRing(4)
+	counts := map[*Replica]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[rg.rank(mix64(uint64(i)))[0]]++
+	}
+	for rep, n := range counts {
+		share := float64(n) / keys
+		if share < 0.15 || share > 0.35 {
+			t.Fatalf("replica %s owns %.1f%% of keys", rep.url, 100*share)
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the rendezvous property the cache
+// sharding depends on: removing one replica moves only the keys it
+// owned (every other key keeps its owner), and those keys land on
+// their previous second choice.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := testRing(4)
+	reduced := &ring{replicas: full.replicas[:3]} // drop the last replica
+	dropped := full.replicas[3]
+
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		fp := mix64(uint64(i) + 12345)
+		before := full.rank(fp)
+		after := reduced.rank(fp)
+		if before[0] != dropped {
+			if after[0] != before[0] {
+				t.Fatalf("key %d: owner changed from %s to %s though %s was not dropped",
+					i, before[0].url, after[0].url, dropped.url)
+			}
+			continue
+		}
+		moved++
+		if after[0] != before[1] {
+			t.Fatalf("key %d: orphaned key went to %s, want second choice %s", i, after[0].url, before[1].url)
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("%d of %d keys moved, want roughly a quarter", moved, keys)
+	}
+}

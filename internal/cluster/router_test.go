@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeReplica is a scriptable backend: it answers /readyz and
+// /v1/predict from configurable state and records the cluster headers
+// it saw.
+type fakeReplica struct {
+	ts *httptest.Server
+
+	mu          sync.Mutex
+	predictCode int           // status for /v1/predict (200 default)
+	predictBody string        // body for /v1/predict
+	delay       time.Duration // per-predict latency
+	readyCode   int           // status for /readyz (200 default)
+	readyBody   string
+
+	hits    atomic.Int64
+	owners  []string // X-Shard-Owner header per predict hit
+	retries []string // X-Retry-Attempt header per predict hit
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{predictCode: http.StatusOK, predictBody: `{"format":"CSR","rung":"cnn","fell_back":false,"cached":false,"model_generation":1}`, readyCode: http.StatusOK, readyBody: "ready rung=cnn\n"}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		code, body := f.readyCode, f.readyBody
+		f.mu.Unlock()
+		w.WriteHeader(code)
+		io.WriteString(w, body)
+	})
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		f.mu.Lock()
+		f.owners = append(f.owners, r.Header.Get("X-Shard-Owner"))
+		f.retries = append(f.retries, r.Header.Get("X-Retry-Attempt"))
+		code, body, delay := f.predictCode, f.predictBody, f.delay
+		f.mu.Unlock()
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		io.WriteString(w, body)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeReplica) set(mutate func(*fakeReplica)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mutate(f)
+}
+
+func (f *fakeReplica) url() string { return f.ts.URL }
+
+// newTestRouter builds a router over the given fakes with fast probe
+// and breaker settings.
+func newTestRouter(t *testing.T, mutate func(*Config), fakes ...*fakeReplica) (*Router, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(fakes))
+	for i, f := range fakes {
+		urls[i] = f.url()
+	}
+	cfg := Config{
+		Replicas:         urls,
+		ProbeInterval:    25 * time.Millisecond,
+		ProbeTimeout:     250 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		HalfOpenProbes:   2,
+		Retries:          2,
+		Backoff:          time.Millisecond,
+		RequestTimeout:   5 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+// predictBody is a small well-formed request the router can decode.
+func predictBody(seed int) []byte {
+	entries := [][3]float64{}
+	for i := 0; i < 4+seed%5; i++ {
+		entries = append(entries, [3]float64{float64(i), float64((i + seed) % 8), 1})
+	}
+	b, _ := json.Marshal(map[string]any{"rows": 8, "cols": 8, "entries": entries})
+	return b
+}
+
+func postRouter(t *testing.T, ts *httptest.Server, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	res, err := ts.Client().Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, _ := io.ReadAll(res.Body)
+	return res, data
+}
+
+func scrapeRouter(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	res, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, _ := io.ReadAll(res.Body)
+	return string(data)
+}
+
+// metricSample extracts one sample value (labeled series: pass the full
+// rendered series; unlabeled: the bare name).
+func metricSample(page, series string) float64 {
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			var v float64
+			fmt.Sscanf(strings.TrimPrefix(line, series+" "), "%g", &v)
+			return v
+		}
+	}
+	return 0
+}
+
+func TestRouterRoutesWithShardHint(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt, ts := newTestRouter(t, nil, a, b)
+
+	body := predictBody(1)
+	res, data := postRouter(t, ts, body)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("code %d body %s", res.StatusCode, data)
+	}
+	if got := res.Header.Get("X-Served-By"); got != a.url() && got != b.url() {
+		t.Fatalf("X-Served-By %q names no replica", got)
+	}
+	// The shard hint must be consistent: both replicas see the same
+	// owner for the same fingerprint, and it matches the ring.
+	hit := a
+	if b.hits.Load() > 0 {
+		hit = b
+	}
+	hit.mu.Lock()
+	owner := hit.owners[0]
+	hit.mu.Unlock()
+	if owner == "" {
+		t.Fatal("no X-Shard-Owner hint sent")
+	}
+	wantOwner := owner
+	for i := 0; i < 5; i++ {
+		postRouter(t, ts, body)
+	}
+	for _, f := range []*fakeReplica{a, b} {
+		f.mu.Lock()
+		for _, o := range f.owners {
+			if o != wantOwner {
+				f.mu.Unlock()
+				t.Fatalf("owner hint flapped: %q vs %q", o, wantOwner)
+			}
+		}
+		f.mu.Unlock()
+	}
+	_ = rt
+}
+
+func TestRouterRejectsMalformedAtEdge(t *testing.T) {
+	a := newFakeReplica(t)
+	_, ts := newTestRouter(t, nil, a)
+	res, _ := postRouter(t, ts, []byte(`{"rows": -3}`))
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("code %d, want 400", res.StatusCode)
+	}
+	if a.hits.Load() != 0 {
+		t.Fatal("malformed body reached a replica")
+	}
+	// Method and size rejections too.
+	gr, err := ts.Client().Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: code %d, want 405", gr.StatusCode)
+	}
+}
+
+func TestRouterRetriesAcrossReplicasOn5xx(t *testing.T) {
+	sick, healthy := newFakeReplica(t), newFakeReplica(t)
+	sick.set(func(f *fakeReplica) {
+		f.predictCode = http.StatusInternalServerError
+		f.predictBody = `{"error":"boom"}`
+	})
+	_, ts := newTestRouter(t, nil, sick, healthy)
+
+	// Whatever the ranking, every request must end on the healthy
+	// replica with a 200.
+	for i := 0; i < 6; i++ {
+		res, data := postRouter(t, ts, predictBody(i))
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("req %d: code %d body %s", i, res.StatusCode, data)
+		}
+		if got := res.Header.Get("X-Served-By"); got != healthy.url() {
+			t.Fatalf("req %d served by %q", i, got)
+		}
+	}
+	page := scrapeRouter(t, ts)
+	if v := metricSample(page, "router_retries_total"); v == 0 {
+		t.Fatal("no retries recorded despite a sick replica")
+	}
+}
+
+func TestRouterSheds429WithoutBreakerPenalty(t *testing.T) {
+	shedding, healthy := newFakeReplica(t), newFakeReplica(t)
+	shedding.set(func(f *fakeReplica) { f.predictCode = http.StatusTooManyRequests; f.predictBody = `{"error":"shed"}` })
+	rt, ts := newTestRouter(t, nil, shedding, healthy)
+
+	for i := 0; i < 8; i++ {
+		res, _ := postRouter(t, ts, predictBody(i))
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("req %d: code %d", i, res.StatusCode)
+		}
+	}
+	// Shedding is an answer, not a failure: the shedding replica must
+	// still be in rotation (probes also pass).
+	for _, rep := range rt.Replicas() {
+		if rep.URL() == shedding.url() && rep.state() == stateDown {
+			t.Fatal("429 shedding condemned the replica")
+		}
+	}
+}
+
+func TestRouterRelays4xxImmediately(t *testing.T) {
+	// A replica-side 404/413-style answer is the client's problem, not
+	// grounds for retry.
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	for _, f := range []*fakeReplica{a, b} {
+		f.set(func(f *fakeReplica) { f.predictCode = http.StatusUnprocessableEntity; f.predictBody = `{"error":"no"}` })
+	}
+	_, ts := newTestRouter(t, nil, a, b)
+	res, _ := postRouter(t, ts, predictBody(3))
+	if res.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("code %d, want 422 relayed", res.StatusCode)
+	}
+	if a.hits.Load()+b.hits.Load() != 1 {
+		t.Fatalf("%d attempts for a 4xx answer, want 1", a.hits.Load()+b.hits.Load())
+	}
+}
+
+func TestRouterAllReplicasDownAnswers502(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	for _, f := range []*fakeReplica{a, b} {
+		f.set(func(f *fakeReplica) { f.predictCode = http.StatusInternalServerError })
+	}
+	_, ts := newTestRouter(t, nil, a, b)
+	res, _ := postRouter(t, ts, predictBody(1))
+	if res.StatusCode != http.StatusBadGateway {
+		t.Fatalf("code %d, want 502", res.StatusCode)
+	}
+}
+
+func TestRouterMarksRetriesForReplicas(t *testing.T) {
+	sick, healthy := newFakeReplica(t), newFakeReplica(t)
+	sick.set(func(f *fakeReplica) { f.predictCode = http.StatusInternalServerError })
+	_, ts := newTestRouter(t, nil, sick, healthy)
+
+	// Drive until the healthy replica has taken a retried request (the
+	// ranking decides which requests start on the sick one).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		postRouter(t, ts, predictBody(int(time.Now().UnixNano()%97)))
+		healthy.mu.Lock()
+		var marked bool
+		for _, r := range healthy.retries {
+			if r != "" {
+				marked = true
+			}
+		}
+		healthy.mu.Unlock()
+		if marked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no retried request ever carried X-Retry-Attempt")
+		}
+	}
+}
+
+func TestRouterHedgesSlowReplica(t *testing.T) {
+	slow, fast := newFakeReplica(t), newFakeReplica(t)
+	slow.set(func(f *fakeReplica) { f.delay = 2 * time.Second })
+	fast.set(func(f *fakeReplica) { f.delay = 0 })
+	_, ts := newTestRouter(t, func(c *Config) {
+		c.HedgeAfter = 30 * time.Millisecond
+		c.Retries = 1 // 2 launches total: primary + hedge
+	}, slow, fast)
+
+	// Find a body whose shard owner is the slow replica, so the primary
+	// attempt stalls and the hedge (to the fast one) must win.
+	for i := 0; i < 64; i++ {
+		body := predictBody(i)
+		start := time.Now()
+		res, _ := postRouter(t, ts, body)
+		elapsed := time.Since(start)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("req %d: code %d", i, res.StatusCode)
+		}
+		if res.Header.Get("X-Served-By") == fast.url() && elapsed < time.Second && res.Header.Get("X-Router-Attempts") == "2" {
+			page := scrapeRouter(t, ts)
+			if v := metricSample(page, `router_hedges_total{outcome="win"}`); v == 0 {
+				t.Fatal("hedge served the answer but no win recorded")
+			}
+			return
+		}
+	}
+	t.Fatal("no request was ever hedged off the slow owner")
+}
+
+func TestRouterReadyz(t *testing.T) {
+	a := newFakeReplica(t)
+	rt, ts := newTestRouter(t, nil, a)
+	// Wait for the first probe to pass.
+	waitFor(t, 2*time.Second, func() bool {
+		for _, rep := range rt.Replicas() {
+			if rep.state() == stateHealthy {
+				return true
+			}
+		}
+		return false
+	})
+	res, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(data), "replicas=1/1") {
+		t.Fatalf("readyz: %d %q", res.StatusCode, data)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -51,6 +51,14 @@ const (
 	// the torn-write fault resume must detect via the envelope CRC and
 	// self-heal by re-running the shard.
 	PointShardCorrupt = "dataset.shard.corrupt"
+	// PointPeerStall delays inside the peer cache-fill call — the
+	// sick-but-listening shard owner fault; the fill must fail open to
+	// local compute at its own small deadline, never stalling the
+	// request.
+	PointPeerStall = "serve.peer.stall"
+	// PointPeerError fails the peer cache-fill call outright — the
+	// dead/refusing shard owner fault, which must also fail open.
+	PointPeerError = "serve.peer.error"
 )
 
 // Fault describes what an armed point does when reached: sleep for

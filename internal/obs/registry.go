@@ -227,6 +227,46 @@ func (cv *CounterVec) Snapshot() []LabelValue {
 	return out
 }
 
+// GaugeVec is a gauge family over a rendered label set — e.g. one
+// health-state gauge per cluster replica.
+type GaugeVec struct {
+	mu sync.Mutex
+	m  map[string]*Gauge
+}
+
+// With returns the gauge for a rendered label set, creating it on
+// first use.
+func (gv *GaugeVec) With(labels string) *Gauge {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	g, ok := gv.m[labels]
+	if !ok {
+		g = &Gauge{}
+		gv.m[labels] = g
+	}
+	return g
+}
+
+// GaugeLabelValue is one (labels, value) pair in a gauge vector
+// snapshot.
+type GaugeLabelValue struct {
+	Labels string
+	Value  float64
+}
+
+// Snapshot returns the label sets in sorted order for deterministic
+// rendering.
+func (gv *GaugeVec) Snapshot() []GaugeLabelValue {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	out := make([]GaugeLabelValue, 0, len(gv.m))
+	for l, g := range gv.m {
+		out = append(out, GaugeLabelValue{l, g.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+	return out
+}
+
 // HistogramVec is a histogram family over a rendered label set, all
 // children sharing one bucket layout.
 type HistogramVec struct {
@@ -270,6 +310,7 @@ type family struct {
 	gaugeFunc  func() float64
 	histogram  *Histogram
 	counterVec *CounterVec
+	gaugeVec   *GaugeVec
 	histVec    *HistogramVec
 }
 
@@ -352,6 +393,17 @@ func (r *Registry) CounterVec(name, help string) *CounterVec {
 	return f.counterVec
 }
 
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string) *GaugeVec {
+	f := r.register(name, help, "gauge", func() *family {
+		return &family{gaugeVec: &GaugeVec{m: map[string]*Gauge{}}}
+	})
+	if f.gaugeVec == nil {
+		panic(fmt.Sprintf("obs: metric %q is a plain gauge, not a labeled one", name))
+	}
+	return f.gaugeVec
+}
+
 // HistogramVec registers (or returns) a labeled histogram family.
 func (r *Registry) HistogramVec(name, help string, bounds []float64) *HistogramVec {
 	f := r.register(name, help, "histogram", func() *family {
@@ -395,6 +447,10 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		case f.counterVec != nil:
 			for _, e := range f.counterVec.Snapshot() {
 				fmt.Fprintf(&b, "%s{%s} %d\n", f.name, e.Labels, e.Value)
+			}
+		case f.gaugeVec != nil:
+			for _, e := range f.gaugeVec.Snapshot() {
+				fmt.Fprintf(&b, "%s{%s} %s\n", f.name, e.Labels, formatValue(e.Value))
 			}
 		case f.histVec != nil:
 			for _, k := range f.histVec.snapshotKeys() {

@@ -32,18 +32,22 @@ func (s BreakerState) String() string {
 }
 
 // Breaker is a consecutive-failure circuit breaker for a degradable
-// dependency (in this repo: the CNN rung of the serving ladder). It is
-// deliberately simple — counts, a cooldown clock and a single-probe
-// half-open state — because its failure modes must be easier to reason
-// about than the failures it guards against.
+// dependency (in this repo: the CNN rung of the serving ladder, and one
+// per replica in the cluster router). It is deliberately simple —
+// counts, a cooldown clock and a bounded-probe half-open state —
+// because its failure modes must be easier to reason about than the
+// failures it guards against.
 //
 // All methods are safe for concurrent use.
 type Breaker struct {
 	mu          sync.Mutex
 	threshold   int
 	cooldown    time.Duration
+	probesNeed  int // consecutive half-open successes required to close
 	state       BreakerState
 	consecutive int
+	probeStreak int  // successful half-open probes so far
+	probeOut    bool // a half-open probe is outstanding
 	transitions uint64
 	since       time.Time // state entry time (open: for cooldown; half-open: probe age)
 	now         func() time.Time
@@ -63,7 +67,25 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	if cooldown <= 0 {
 		cooldown = 10 * time.Second
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+	return &Breaker{threshold: threshold, cooldown: cooldown, probesNeed: 1, now: time.Now}
+}
+
+// HalfOpenProbes requires n consecutive successful half-open probes
+// before the breaker closes (default 1). Single-probe recovery is right
+// for an in-process dependency, but too flappy for a network peer — one
+// lucky response through a sick replica would restore full traffic —
+// so routers ask for several. A failure at any point during the streak
+// re-opens the breaker and the count starts over. It returns the
+// breaker for chaining at construction; changing n while traffic is
+// flowing is safe (the next half-open episode uses the new value).
+func (b *Breaker) HalfOpenProbes(n int) *Breaker {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probesNeed = n
+	return b
 }
 
 // transition moves the state and notifies. Callers hold b.mu.
@@ -75,6 +97,12 @@ func (b *Breaker) transition(to BreakerState) {
 	b.state = to
 	b.since = b.now()
 	b.transitions++
+	// The probe streak is per half-open episode; entering any state
+	// restarts it and leaving half-open clears the outstanding probe.
+	b.probeStreak = 0
+	if to != BreakerHalfOpen {
+		b.probeOut = false
+	}
 	if b.OnTransition != nil {
 		b.OnTransition(from, to)
 	}
@@ -97,9 +125,10 @@ func (b *Breaker) Consecutive() int {
 
 // Allow reports whether the protected path may be tried now. In the
 // open state it flips to half-open once the cooldown has elapsed and
-// admits the caller as the probe; a probe that never reports back
-// stops blocking after another cooldown period, so an abandoned probe
-// cannot wedge the breaker half-open forever.
+// admits the caller as the probe; in the half-open state it admits one
+// probe at a time. A probe that never reports back stops blocking
+// after another cooldown period, so an abandoned probe cannot wedge
+// the breaker half-open forever.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -109,10 +138,16 @@ func (b *Breaker) Allow() bool {
 	case BreakerOpen:
 		if b.now().Sub(b.since) >= b.cooldown {
 			b.transition(BreakerHalfOpen)
+			b.probeOut = true
 			return true
 		}
 		return false
-	default: // half-open: one probe outstanding
+	default: // half-open: one probe outstanding at a time
+		if !b.probeOut {
+			b.probeOut = true
+			b.since = b.now()
+			return true
+		}
 		if b.now().Sub(b.since) >= b.cooldown {
 			b.since = b.now() // re-admit: the previous probe was abandoned
 			return true
@@ -121,9 +156,12 @@ func (b *Breaker) Allow() bool {
 	}
 }
 
-// Success reports a healthy answer from the protected path: it closes
-// a half-open breaker and clears the failure streak of a closed one.
-// Success while open is ignored (a stale answer from before the trip).
+// Success reports a healthy answer from the protected path: it clears
+// the failure streak of a closed breaker and advances the probe streak
+// of a half-open one, closing it once HalfOpenProbes consecutive
+// probes have succeeded (the next probe is admitted immediately, not
+// after another cooldown). Success while open is ignored (a stale
+// answer from before the trip).
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -131,14 +169,18 @@ func (b *Breaker) Success() {
 	case BreakerClosed:
 		b.consecutive = 0
 	case BreakerHalfOpen:
-		b.consecutive = 0
-		b.transition(BreakerClosed)
+		b.probeOut = false
+		b.probeStreak++
+		if b.probeStreak >= b.probesNeed {
+			b.consecutive = 0
+			b.transition(BreakerClosed)
+		}
 	}
 }
 
 // Failure reports a failed try: it re-opens a half-open breaker
-// immediately and trips a closed one when the streak reaches the
-// threshold.
+// immediately (restarting the probe streak) and trips a closed one
+// when the streak reaches the threshold.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -149,6 +191,7 @@ func (b *Breaker) Failure() {
 			b.transition(BreakerOpen)
 		}
 	case BreakerHalfOpen:
+		b.probeOut = false
 		b.transition(BreakerOpen)
 	}
 }

@@ -151,6 +151,147 @@ func TestBreakerTransitionHook(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenProbesRequireStreak: with HalfOpenProbes(3), the
+// breaker stays half-open through the first two successful probes
+// (admitting each follow-up probe immediately) and closes only on the
+// third.
+func TestBreakerHalfOpenProbesRequireStreak(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.HalfOpenProbes(3)
+	b.Failure()
+	clk.advance(time.Second)
+	for i := 1; i <= 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("probe %d refused", i)
+		}
+		b.Success()
+		if b.State() != BreakerHalfOpen {
+			t.Fatalf("closed after %d of 3 probes", i)
+		}
+	}
+	// The third probe is admitted without waiting out another cooldown.
+	if !b.Allow() {
+		t.Fatal("third probe refused after two successes")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("did not close after the full probe streak")
+	}
+}
+
+// TestBreakerHalfOpenProbeStreakRestartsOnFailure: a failure mid-streak
+// re-opens the breaker, and the next half-open episode starts the
+// probe count from zero.
+func TestBreakerHalfOpenProbeStreakRestartsOnFailure(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.HalfOpenProbes(2)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Success() // 1 of 2
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Failure() // streak dies
+	if b.State() != BreakerOpen {
+		t.Fatal("mid-streak failure did not reopen")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after reopen")
+	}
+	b.Success() // 1 of 2 again — the earlier success must not carry over
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("stale probe streak carried across episodes")
+	}
+	if !b.Allow() {
+		t.Fatal("follow-up probe refused")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("did not close after a full fresh streak")
+	}
+}
+
+// TestBreakerTransitionMatrix pins the full state/event table: for each
+// starting state, what Success, Failure, Allow-after-cooldown and Reset
+// do. Changing any cell is an API break for both the serving ladder and
+// the cluster router.
+func TestBreakerTransitionMatrix(t *testing.T) {
+	const cooldown = time.Second
+
+	// enter drives a fresh breaker (threshold 2, HalfOpenProbes 2) into
+	// the wanted state.
+	enter := func(t *testing.T, state BreakerState) (*Breaker, *fakeClock) {
+		t.Helper()
+		b, clk := newTestBreaker(2, cooldown)
+		b.HalfOpenProbes(2)
+		switch state {
+		case BreakerOpen:
+			b.Failure()
+			b.Failure()
+		case BreakerHalfOpen:
+			b.Failure()
+			b.Failure()
+			clk.advance(cooldown)
+			if !b.Allow() {
+				t.Fatal("setup: probe refused")
+			}
+		}
+		if b.State() != state {
+			t.Fatalf("setup: state %v, want %v", b.State(), state)
+		}
+		return b, clk
+	}
+
+	cases := []struct {
+		name  string
+		from  BreakerState
+		event func(*Breaker, *fakeClock)
+		want  BreakerState
+	}{
+		{"closed+success", BreakerClosed, func(b *Breaker, _ *fakeClock) { b.Success() }, BreakerClosed},
+		{"closed+failure-below-threshold", BreakerClosed, func(b *Breaker, _ *fakeClock) { b.Failure() }, BreakerClosed},
+		{"closed+failures-at-threshold", BreakerClosed, func(b *Breaker, _ *fakeClock) { b.Failure(); b.Failure() }, BreakerOpen},
+		{"closed+reset", BreakerClosed, func(b *Breaker, _ *fakeClock) { b.Reset() }, BreakerClosed},
+		{"open+success-ignored", BreakerOpen, func(b *Breaker, _ *fakeClock) { b.Success() }, BreakerOpen},
+		{"open+failure", BreakerOpen, func(b *Breaker, _ *fakeClock) { b.Failure() }, BreakerOpen},
+		{"open+allow-before-cooldown", BreakerOpen, func(b *Breaker, _ *fakeClock) {
+			if b.Allow() {
+				panic("admitted before cooldown")
+			}
+		}, BreakerOpen},
+		{"open+allow-after-cooldown", BreakerOpen, func(b *Breaker, clk *fakeClock) {
+			clk.advance(cooldown)
+			if !b.Allow() {
+				panic("probe refused after cooldown")
+			}
+		}, BreakerHalfOpen},
+		{"open+reset", BreakerOpen, func(b *Breaker, _ *fakeClock) { b.Reset() }, BreakerClosed},
+		{"half-open+success-below-streak", BreakerHalfOpen, func(b *Breaker, _ *fakeClock) { b.Success() }, BreakerHalfOpen},
+		{"half-open+success-streak-complete", BreakerHalfOpen, func(b *Breaker, _ *fakeClock) {
+			b.Success()
+			if !b.Allow() {
+				panic("follow-up probe refused")
+			}
+			b.Success()
+		}, BreakerClosed},
+		{"half-open+failure", BreakerHalfOpen, func(b *Breaker, _ *fakeClock) { b.Failure() }, BreakerOpen},
+		{"half-open+reset", BreakerHalfOpen, func(b *Breaker, _ *fakeClock) { b.Reset() }, BreakerClosed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := enter(t, tc.from)
+			tc.event(b, clk)
+			if got := b.State(); got != tc.want {
+				t.Fatalf("%v --%s--> %v, want %v", tc.from, tc.name, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestBreakerConcurrentUse(t *testing.T) {
 	b := NewBreaker(5, time.Millisecond)
 	var wg sync.WaitGroup

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -12,12 +13,13 @@ import (
 
 // job is one prediction request in flight between handler and worker.
 type job struct {
-	ctx      context.Context // request context: deadline budget + client liveness
+	ctx      context.Context // job context: deadline budget (detached from any single client when coalescing is on)
+	cancel   context.CancelFunc
 	m        *sparse.COO
 	fp       uint64
-	tr       *obs.Trace     // request trace (nil-safe); workers add queue/batch/rung spans
-	enqueued time.Time      // when the handler submitted the job (queue span start)
-	done     chan jobResult // buffered(1): workers never block on a gone client
+	tr       *obs.Trace // request trace (nil-safe); workers add queue/batch/rung spans
+	enqueued time.Time  // when the handler submitted the job (queue span start)
+	call     *call      // completion record, shared with coalesced duplicates
 }
 
 type jobResult struct {
@@ -27,7 +29,39 @@ type jobResult struct {
 	err  error
 }
 
+// call is a single-flight completion record: the leader request that
+// enqueued the job and every duplicate request that attached to it
+// while it was in flight all wait on done. finish is idempotent, so
+// the worker, the shutdown sweep and the overload path can race to
+// answer without double-completing.
+type call struct {
+	once sync.Once
+	done chan struct{}
+	res  jobResult
+}
+
+func newCall() *call { return &call{done: make(chan struct{})} }
+
+func (c *call) finish(r jobResult) {
+	c.once.Do(func() { c.res = r; close(c.done) })
+}
+
 var errShutdown = errors.New("serve: shutting down")
+
+// finishJob completes a job's call and retires its fingerprint from the
+// single-flight window, so the next request for the same pattern starts
+// a fresh computation (or hits the cache the leader just filled).
+func (s *Server) finishJob(j *job, res jobResult) {
+	s.inflightMu.Lock()
+	if s.inflightFP[j.fp] == j.call {
+		delete(s.inflightFP, j.fp)
+	}
+	s.inflightMu.Unlock()
+	j.call.finish(res)
+	if j.cancel != nil {
+		j.cancel()
+	}
+}
 
 // dispatch is the micro-batching loop: it blocks for the first job,
 // then coalesces more until the batch is full (BatchMax) or the batch
@@ -61,7 +95,7 @@ func (s *Server) dispatch() {
 		timer.Stop()
 		b := batch
 		if err := s.pool.Submit(func() { s.runBatch(b) }); err != nil {
-			answerAll(b, jobResult{err: errShutdown})
+			s.answerAll(b, jobResult{err: errShutdown})
 		}
 	}
 }
@@ -73,7 +107,7 @@ func (s *Server) drainJobs() {
 	for {
 		select {
 		case j := <-s.jobs:
-			j.done <- jobResult{err: errShutdown}
+			s.finishJob(j, jobResult{err: errShutdown})
 		default:
 			return
 		}
@@ -89,7 +123,7 @@ func (s *Server) runBatch(batch []*job) {
 	answered := 0
 	defer func() {
 		if answered < len(batch) {
-			answerAll(batch[answered:], jobResult{err: errShutdown})
+			s.answerAll(batch[answered:], jobResult{err: errShutdown})
 		}
 	}()
 
@@ -126,13 +160,13 @@ func (s *Server) runBatch(batch []*job) {
 		// The batch span is the shared worker-side interval: from batch
 		// pickup to this job's answer, covering head-of-batch waiting.
 		j.tr.ObserveSpan("batch", batchStart)
-		j.done <- jobResult{pred: pred, gen: gen, rung: rung}
+		s.finishJob(j, jobResult{pred: pred, gen: gen, rung: rung})
 		answered++
 	}
 }
 
-func answerAll(jobs []*job, res jobResult) {
+func (s *Server) answerAll(jobs []*job, res jobResult) {
 	for _, j := range jobs {
-		j.done <- res
+		s.finishJob(j, res)
 	}
 }

@@ -41,17 +41,31 @@ type predictRequest struct {
 // ladder layer produced the answer: "cnn", "dtree" or "csr". TraceID
 // always carries the request's span ID (it is also the X-Trace-Id
 // header); the per-stage Trace block is included when the client asks
-// for it with ?trace=1.
+// for it with ?trace=1. Coalesced marks an answer shared with an
+// in-flight computation for the same fingerprint (a router retry or
+// hedge that did not cost a second forward pass).
 type response struct {
 	Format          string             `json:"format"`
 	Probs           map[string]float64 `json:"probs,omitempty"`
 	FellBack        bool               `json:"fell_back"`
 	Reason          string             `json:"reason,omitempty"`
 	Cached          bool               `json:"cached"`
+	Coalesced       bool               `json:"coalesced,omitempty"`
 	Rung            string             `json:"rung"`
 	ModelGeneration uint64             `json:"model_generation"`
 	TraceID         string             `json:"trace_id,omitempty"`
 	Trace           []obs.Span         `json:"trace,omitempty"`
+}
+
+// predictMeta carries per-request cluster context between the handler
+// and predictOne: the router's hints in, the cache/peer outcomes back
+// out (they become the X-Cache-Status and X-Peer-Fill headers).
+type predictMeta struct {
+	owner       string // X-Shard-Owner hint ("" = none)
+	retried     bool   // X-Retry-Attempt named a retry or hedge
+	cacheStatus string // "hit", "peer" or "miss"
+	peerOutcome string // "hit", "miss", "timeout", "error" ("" = not attempted)
+	coalesced   bool   // attached to an in-flight duplicate
 }
 
 // errorResponse is the JSON body of every non-200 answer.
@@ -85,6 +99,7 @@ func makeResponse(p selector.Prediction, gen uint64, cached bool, rung string) r
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/cache", s.handleCacheLookup)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -100,6 +115,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	code := http.StatusOK
+	// Cluster hints from the router: which replica owns this
+	// fingerprint's cache shard, and whether this request is a retry or
+	// hedge of one the router already sent somewhere (retried requests
+	// are labeled separately in serve_requests_total so fleet-level
+	// request accounting is never double-counted by failover).
+	meta := &predictMeta{
+		owner:   strings.TrimSuffix(r.Header.Get("X-Shard-Owner"), "/"),
+		retried: isRetryAttempt(r.Header.Get("X-Retry-Attempt")),
+	}
 	// Every predict request gets a trace: the span ID goes out as the
 	// X-Trace-Id header (success or failure), the per-stage spans are
 	// recorded along the pipeline, and the finished trace lands in the
@@ -107,7 +131,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	tr := obs.NewTrace()
 	w.Header().Set("X-Trace-Id", tr.ID())
 	defer func() {
-		s.met.request("predict", code, start)
+		s.met.requestRetriable("predict", code, start, meta.retried)
 		s.traces.Finish(tr, strconv.Itoa(code))
 	}()
 
@@ -146,9 +170,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp, err := s.predictOne(ctx, m)
+	resp, err := s.predictOne(ctx, m, meta)
+	if meta.cacheStatus != "" {
+		w.Header().Set("X-Cache-Status", meta.cacheStatus)
+	}
+	if meta.peerOutcome != "" {
+		w.Header().Set("X-Peer-Fill", meta.peerOutcome)
+	}
 	switch {
 	case err == nil:
+		resp.Coalesced = meta.coalesced
 		resp.TraceID = tr.ID()
 		if wantTrace(r) {
 			resp.Trace = tr.Spans()
@@ -168,10 +199,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ingestStatus maps an ingestion failure onto the typed status
+// IngestStatus maps an ingestion failure onto the typed status
 // taxonomy: 413 for resource-cap violations, 422 for well-formed but
-// unsupported documents, 400 for everything malformed.
-func ingestStatus(err error) int {
+// unsupported documents, 400 for everything malformed. Exported so the
+// cluster router answers decode failures with the same codes a replica
+// would.
+func IngestStatus(err error) int {
 	switch {
 	case errors.Is(err, sparse.ErrTooLarge):
 		return http.StatusRequestEntityTooLarge
@@ -182,22 +215,28 @@ func ingestStatus(err error) int {
 	}
 }
 
-// parseMatrix decodes the request body as JSON triplets or a Matrix
-// Market document, bounded by MaxBodyBytes and cfg.Limits. Every
+func ingestStatus(err error) int { return IngestStatus(err) }
+
+// isRetryAttempt reports whether an X-Retry-Attempt header value names
+// a retry or hedge (attempt number >= 1; the first attempt is 0 or an
+// absent header).
+func isRetryAttempt(v string) bool {
+	if v == "" {
+		return false
+	}
+	n, err := strconv.Atoi(v)
+	return err == nil && n >= 1
+}
+
+// DecodeMatrix decodes a request body (already read into memory) as
+// JSON COO triplets or a Matrix Market document, bounded by lim. Every
 // failure wraps one of the typed sparse ingestion errors (or reads as
-// plain malformation), so handlePredict can map it onto 400/413/422.
-func (s *Server) parseMatrix(ctx context.Context, r *http.Request) (*sparse.COO, error) {
-	body := io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1)
-	data, err := io.ReadAll(body)
-	if err != nil {
-		return nil, fmt.Errorf("reading body: %w", err)
-	}
-	if int64(len(data)) > s.cfg.MaxBodyBytes {
-		return nil, fmt.Errorf("%w: body exceeds %d bytes", sparse.ErrTooLarge, s.cfg.MaxBodyBytes)
-	}
-	ct := r.Header.Get("Content-Type")
-	if strings.Contains(ct, "matrix-market") || bytes.HasPrefix(bytes.TrimSpace(data), []byte("%%MatrixMarket")) {
-		m, err := sparse.ReadMatrixMarketLimits(ctx, bytes.NewReader(data), s.cfg.Limits)
+// plain malformation) for IngestStatus to map onto 400/413/422. It is
+// shared between the replica's predict handler and the cluster router,
+// which must parse the matrix anyway to compute the shard fingerprint.
+func DecodeMatrix(ctx context.Context, data []byte, contentType string, lim sparse.Limits) (*sparse.COO, error) {
+	if strings.Contains(contentType, "matrix-market") || bytes.HasPrefix(bytes.TrimSpace(data), []byte("%%MatrixMarket")) {
+		m, err := sparse.ReadMatrixMarketLimits(ctx, bytes.NewReader(data), lim)
 		if err != nil {
 			return nil, fmt.Errorf("parsing Matrix Market body: %w", err)
 		}
@@ -211,7 +250,6 @@ func (s *Server) parseMatrix(ctx context.Context, r *http.Request) (*sparse.COO,
 	}
 	// The JSON path honours the same resource budget as the Matrix
 	// Market reader.
-	lim := s.cfg.Limits
 	if lim.MaxRows > 0 && req.Rows > lim.MaxRows {
 		return nil, fmt.Errorf("%w: %d rows exceeds cap %d", sparse.ErrTooLarge, req.Rows, lim.MaxRows)
 	}
@@ -236,6 +274,20 @@ func (s *Server) parseMatrix(ctx context.Context, r *http.Request) (*sparse.COO,
 	return m, nil
 }
 
+// parseMatrix reads and decodes the request body, bounded by
+// MaxBodyBytes and cfg.Limits.
+func (s *Server) parseMatrix(ctx context.Context, r *http.Request) (*sparse.COO, error) {
+	body := io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	if int64(len(data)) > s.cfg.MaxBodyBytes {
+		return nil, fmt.Errorf("%w: body exceeds %d bytes", sparse.ErrTooLarge, s.cfg.MaxBodyBytes)
+	}
+	return DecodeMatrix(ctx, data, r.Header.Get("Content-Type"), s.cfg.Limits)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -243,13 +295,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.request("healthz", http.StatusOK, start)
 }
 
+// handleReadyz reports readiness with degradation detail: a healthy
+// replica answers "ready rung=cnn", one running on the decision-tree
+// rung behind an open breaker answers 200 "ready rung=dtree" (degraded
+// but still worth routing to), and a replica that is draining, has no
+// model, or is down to the CSR floor answers 503. The router's active
+// prober parses the rung to distinguish healthy from degraded replicas
+// without taking them out of rotation.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	code := http.StatusOK
-	msg := "ready\n"
-	if !s.Ready() {
+	var msg string
+	rung := s.CurrentRung()
+	switch {
+	case !s.Ready():
 		code = http.StatusServiceUnavailable
 		msg = "not ready\n"
+	case rung == rungCSR:
+		// Hard-down: breaker open and no tree rung — answers would be
+		// the unconditional CSR floor, no better than any other
+		// replica's worst case. Shed active routing.
+		code = http.StatusServiceUnavailable
+		msg = "degraded rung=csr\n"
+	default:
+		msg = "ready rung=" + rung + "\n"
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(code)

@@ -12,9 +12,16 @@ import (
 )
 
 // requestLabel renders the label set of one completed request,
-// byte-identical to the pre-obs exposition.
-func requestLabel(endpoint string, code int) string {
-	return fmt.Sprintf("code=%q,endpoint=%q", strconv.Itoa(code), endpoint)
+// byte-identical to the pre-obs exposition for first attempts. Router
+// retries and hedges gain a trailing retried="true" label (appended
+// last to keep the alphabetical label order the renderer pins), so
+// fleet dashboards can subtract failover duplicates from true demand.
+func requestLabel(endpoint string, code int, retried bool) string {
+	l := fmt.Sprintf("code=%q,endpoint=%q", strconv.Itoa(code), endpoint)
+	if retried {
+		l += `,retried="true"`
+	}
+	return l
 }
 
 // endpointLabel renders the latency histogram's label set.
@@ -41,6 +48,8 @@ type metrics struct {
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 	cacheSize      *obs.Gauge
+	dedupHits      *obs.Counter    // requests coalesced onto an in-flight computation
+	peerFill       *obs.CounterVec // peer cache-fill attempts by outcome
 	batches        *obs.Counter
 	batchJobs      *obs.Counter
 	batchSize      *obs.Histogram
@@ -70,7 +79,7 @@ func newMetrics() *metrics {
 	m.latency = r.HistogramVec("serve_request_seconds", "Request latency by endpoint.", obs.DefLatencyBuckets())
 	// Pre-create the endpoint series so a fresh server's scrape already
 	// shows the full latency name set.
-	for _, ep := range []string{"healthz", "metrics", "predict", "readyz"} {
+	for _, ep := range []string{"cache", "healthz", "metrics", "predict", "readyz"} {
 		m.latency.With(endpointLabel(ep))
 	}
 	m.predictions = r.CounterVec("serve_predictions_total", "Predictions served, by chosen format.")
@@ -85,6 +94,8 @@ func newMetrics() *metrics {
 	m.cacheMisses = r.Counter("serve_cache_misses_total", "Prediction cache misses.")
 	m.cacheEvictions = r.Counter("serve_cache_evictions_total", "Prediction cache LRU evictions.")
 	m.cacheSize = r.Gauge("serve_cache_entries", "Current prediction cache entries.")
+	m.dedupHits = r.Counter("serve_dedup_hits_total", "Requests coalesced onto an in-flight computation for the same fingerprint.")
+	m.peerFill = r.CounterVec("serve_peer_fill_total", "Peer cache-fill attempts, by outcome (hit, miss, timeout, error).")
 
 	m.batches = r.Counter("serve_batches_total", "Micro-batches dispatched to the worker pool.")
 	m.batchJobs = r.Counter("serve_batch_jobs_total", "Prediction jobs processed through batches.")
@@ -133,9 +144,16 @@ func (m *metrics) instrumentBreaker(b *robust.Breaker) {
 	})
 }
 
-// request records one completed request.
+// request records one completed request (never a retry — only
+// /v1/predict carries the router's attempt header).
 func (m *metrics) request(endpoint string, code int, start time.Time) {
-	m.requests.With(requestLabel(endpoint, code)).Inc()
+	m.requestRetriable(endpoint, code, start, false)
+}
+
+// requestRetriable records one completed request, labeled as a router
+// retry/hedge when the attempt header said so.
+func (m *metrics) requestRetriable(endpoint string, code int, start time.Time, retried bool) {
+	m.requests.With(requestLabel(endpoint, code, retried)).Inc()
 	m.latency.With(endpointLabel(endpoint)).ObserveSince(start)
 }
 

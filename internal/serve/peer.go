@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/robust"
+)
+
+// Peer cache-fill: the cluster router shards the prediction cache
+// across replicas by rendezvous-hashing each request's fingerprint and
+// sends the owner's base URL along as the X-Shard-Owner header. When a
+// request lands on a non-owner (a retry, a hedge, or failover after the
+// owner dropped out) and misses the local cache, the replica asks the
+// owner's cache over GET /v1/cache before paying for a forward pass.
+//
+// The fill is an optimisation, never a dependency. It is strictly
+// bounded by PeerFillTimeout (and by whatever remains of the request's
+// own budget, whichever is smaller), and every failure mode — peer
+// dead, peer slow, peer answering garbage — falls open to local
+// compute. The chaos suite proves this with the serve.peer.stall and
+// serve.peer.error injection points.
+
+// CurrentRung reports which ladder rung would answer a request arriving
+// now: "cnn" while the breaker admits CNN traffic (closed or probing),
+// "dtree" while the breaker is open and the tree rung stands, "csr"
+// when the breaker is open and there is no tree — the hard-down state
+// /readyz turns into a 503.
+func (s *Server) CurrentRung() string {
+	if s.breaker.State() != robust.BreakerOpen {
+		return rungCNN
+	}
+	if s.dtree != nil {
+		return rungDTree
+	}
+	return rungCSR
+}
+
+// peerFill asks the shard owner's cache for fp. It returns (resp, true)
+// only on a confirmed peer cache hit; every other outcome — not in a
+// cluster, we are the owner, miss, timeout, error — returns false and
+// the caller computes locally. The outcome (when an attempt was made)
+// lands in meta.peerOutcome and serve_peer_fill_total.
+func (s *Server) peerFill(ctx context.Context, fp uint64, meta *predictMeta) (response, bool) {
+	if meta.owner == "" || s.cfg.CacheSize <= 0 {
+		return response{}, false
+	}
+	self := s.SelfURL()
+	if self == "" || meta.owner == self {
+		// A replica that does not know its own identity cannot tell
+		// whether the hint names itself — fail open rather than
+		// self-query.
+		return response{}, false
+	}
+	timeout := s.cfg.PeerFillTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining < timeout {
+			timeout = remaining
+		}
+	}
+	if timeout <= 0 {
+		return response{}, false
+	}
+	fctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	fillStart := time.Now()
+	resp, err := s.peerLookup(fctx, meta.owner, fp)
+	obs.TraceFrom(ctx).ObserveSpan("peerfill", fillStart)
+	outcome := "hit"
+	switch {
+	case err != nil && (errors.Is(err, context.DeadlineExceeded) || fctx.Err() != nil):
+		outcome = "timeout"
+	case err != nil:
+		if errors.Is(err, errPeerMiss) {
+			outcome = "miss"
+		} else {
+			outcome = "error"
+		}
+	}
+	meta.peerOutcome = outcome
+	s.met.peerFill.With(fmt.Sprintf("outcome=%q", outcome)).Inc()
+	if err != nil {
+		if outcome != "miss" {
+			s.logf("serve: peer cache-fill from %s failed open: %v", meta.owner, err)
+		}
+		return response{}, false
+	}
+	return resp, true
+}
+
+// errPeerMiss is the (expected, quiet) "owner has no entry" outcome.
+var errPeerMiss = errors.New("serve: peer cache miss")
+
+// peerLookup performs one GET /v1/cache round trip against owner.
+func (s *Server) peerLookup(ctx context.Context, owner string, fp uint64) (response, error) {
+	// Chaos hooks: a stalled owner sleeps here (bounded by ctx — the
+	// fill deadline turns it into a timeout outcome), a broken one
+	// errors here.
+	if err := faultinject.InjectCtx(ctx, faultinject.PointPeerStall); err != nil {
+		return response{}, err
+	}
+	if err := faultinject.Inject(faultinject.PointPeerError); err != nil {
+		return response{}, err
+	}
+	url := owner + "/v1/cache?fp=" + strconv.FormatUint(fp, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return response{}, err
+	}
+	res, err := s.peerClient.Do(req)
+	if err != nil {
+		return response{}, err
+	}
+	defer res.Body.Close()
+	switch res.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return response{}, errPeerMiss
+	default:
+		return response{}, fmt.Errorf("serve: peer cache lookup: status %d", res.StatusCode)
+	}
+	var out response
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		return response{}, fmt.Errorf("serve: peer cache lookup: decoding body: %w", err)
+	}
+	return out, nil
+}
+
+// handleCacheLookup answers GET /v1/cache?fp=<decimal fingerprint>: the
+// shard-owner side of peer cache-fill. It only ever reads the local
+// cache — a lookup can never trigger a forward pass on the owner, so a
+// fill storm cannot amplify load. 404 means "not cached here" and the
+// asking replica computes locally.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := http.StatusOK
+	defer func() { s.met.request("cache", code, start) }()
+
+	if r.Method != http.MethodGet {
+		code = http.StatusMethodNotAllowed
+		writeJSON(w, code, errorResponse{Error: "GET only"})
+		return
+	}
+	if s.draining.Load() {
+		code = http.StatusServiceUnavailable
+		writeJSON(w, code, errorResponse{Error: "server is draining"})
+		return
+	}
+	fp, err := strconv.ParseUint(r.URL.Query().Get("fp"), 10, 64)
+	if err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorResponse{Error: "fp must be a decimal uint64 fingerprint"})
+		return
+	}
+	pred, gen, ok := s.cache.Get(fp)
+	if !ok {
+		code = http.StatusNotFound
+		writeJSON(w, code, errorResponse{Error: "fingerprint not cached"})
+		return
+	}
+	// Only CNN-rung answers are ever cached, so a hit reports rung cnn.
+	writeJSON(w, code, makeResponse(pred, gen, true, rungCNN))
+}

@@ -34,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,19 @@ type Config struct {
 	// (dtree.SaveFile output) for the degraded rung. Empty means the
 	// built-in heuristic tree over the model's format set.
 	DTreePath string
+	// SelfURL is this replica's advertised base URL in a cluster
+	// (http://host:port). It is how the replica recognises itself in the
+	// router's X-Shard-Owner hint: a request whose hinted owner is a
+	// *different* replica triggers a bounded peer cache-fill. Empty
+	// means "derive from the listener address" when ListenAndServe/Serve
+	// is used; a replica that never learns its own URL skips peer fill
+	// entirely (fail open to local compute).
+	SelfURL string
+	// PeerFillTimeout bounds one peer cache-fill round trip (default
+	// 150ms). The fill is an optimisation, never a dependency: any
+	// timeout or error falls open to local compute inside the request's
+	// own budget.
+	PeerFillTimeout time.Duration
 	// Log receives operational lines (nil = silent).
 	Log io.Writer
 }
@@ -124,6 +138,9 @@ func (c *Config) defaults() {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 15 * time.Second
 	}
+	if c.PeerFillTimeout <= 0 {
+		c.PeerFillTimeout = 150 * time.Millisecond
+	}
 }
 
 // Server is the online format-selection service.
@@ -147,6 +164,18 @@ type Server struct {
 	dispWG  sync.WaitGroup
 	httpSrv atomic.Pointer[http.Server]
 
+	// Single-flight window: fingerprints with a computation already in
+	// flight, so a duplicate request (a router retry or hedge, or two
+	// clients posting the same pattern) attaches to the running job
+	// instead of computing twice. Enabled with the cache (it is the
+	// cache's in-flight edge).
+	inflightMu sync.Mutex
+	inflightFP map[uint64]*call
+
+	// Cluster identity and the peer cache-fill client (see peer.go).
+	selfURL    atomic.Pointer[string]
+	peerClient *http.Client
+
 	draining atomic.Bool
 	inflight sync.WaitGroup
 	shutOnce sync.Once
@@ -167,12 +196,18 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
 	s := &Server{
-		cfg:    cfg,
-		cache:  newPredictionCache(cfg.CacheSize),
-		met:    newMetrics(),
-		traces: obs.NewTraceLog(256),
-		jobs:   make(chan *job, cfg.QueueDepth),
-		quit:   make(chan struct{}),
+		cfg:        cfg,
+		cache:      newPredictionCache(cfg.CacheSize),
+		met:        newMetrics(),
+		traces:     obs.NewTraceLog(256),
+		jobs:       make(chan *job, cfg.QueueDepth),
+		quit:       make(chan struct{}),
+		inflightFP: map[uint64]*call{},
+		peerClient: &http.Client{Timeout: 2 * cfg.PeerFillTimeout},
+	}
+	if cfg.SelfURL != "" {
+		self := strings.TrimSuffix(cfg.SelfURL, "/")
+		s.selfURL.Store(&self)
 	}
 	s.pool = robust.NewPool(cfg.Workers, cfg.Workers, func(pe *robust.PanicError) {
 		s.logf("serve: contained worker panic: %v", pe.Value)
@@ -223,9 +258,23 @@ func (s *Server) Ready() bool {
 	return s.model.Load() != nil && !s.draining.Load()
 }
 
+// SelfURL returns this replica's advertised base URL ("" when unknown).
+func (s *Server) SelfURL() string {
+	if p := s.selfURL.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // Serve accepts connections on ln until Shutdown. It blocks, returning
-// http.ErrServerClosed after a clean shutdown like net/http does.
+// http.ErrServerClosed after a clean shutdown like net/http does. When
+// Config.SelfURL was not set, the listener's address becomes the
+// replica's advertised identity for peer cache-fill.
 func (s *Server) Serve(ln net.Listener) error {
+	if s.SelfURL() == "" {
+		self := "http://" + ln.Addr().String()
+		s.selfURL.Store(&self)
+	}
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -300,44 +349,105 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// predictOne resolves one prediction request end to end: cache lookup,
-// micro-batched inference, cache fill. It is the handler-side entry
-// point; ctx aborts the wait (client gone / drain deadline) and carries
-// the request trace, which gains cache/queue spans here and
-// batch/rung/forward spans on the worker side.
-func (s *Server) predictOne(ctx context.Context, m *sparse.COO) (response, error) {
+// predictOne resolves one prediction request end to end: local cache
+// lookup, peer cache-fill (when the router's X-Shard-Owner hint names
+// another replica), single-flight coalescing, micro-batched inference,
+// cache fill. It is the handler-side entry point; ctx aborts the wait
+// (client gone / drain deadline) and carries the request trace, which
+// gains cache/queue spans here and batch/rung/forward spans on the
+// worker side. meta carries the cluster hints in and the cache/peer
+// outcomes back out to the handler's response headers.
+func (s *Server) predictOne(ctx context.Context, m *sparse.COO, meta *predictMeta) (response, error) {
 	tr := obs.TraceFrom(ctx)
 	cacheStart := time.Now()
 	fp := sparse.Fingerprint(m)
 	if pred, gen, ok := s.cache.Get(fp); ok {
 		s.met.cacheHits.Inc()
 		tr.ObserveSpan("cache", cacheStart)
+		meta.cacheStatus = "hit"
 		// Only CNN-rung answers are ever cached, so a hit reports the
 		// cnn rung.
 		return makeResponse(pred, gen, true, rungCNN), nil
 	}
 	s.met.cacheMisses.Inc()
 	tr.ObserveSpan("cache", cacheStart)
+	meta.cacheStatus = "miss"
 
-	j := &job{ctx: ctx, m: m, fp: fp, tr: tr, enqueued: time.Now(), done: make(chan jobResult, 1)}
+	// Peer cache-fill: when another replica owns this fingerprint's
+	// shard, ask its cache before paying for a forward pass. Strictly
+	// bounded and fail-open — a dead or slow peer can never stall the
+	// request (see peer.go).
+	if resp, ok := s.peerFill(ctx, fp, meta); ok {
+		meta.cacheStatus = "peer"
+		return resp, nil
+	}
+
+	// Single-flight: if the same fingerprint is already being computed,
+	// attach to that computation instead of enqueueing a duplicate.
+	// This is what makes POST /v1/predict idempotent-by-fingerprint
+	// under router retries and hedges: the repeated request can never
+	// double-count a forward pass. The window rides on the cache
+	// (CacheSize 0 disables both — drills that must exercise the ladder
+	// on every request turn the cache off and get the old behaviour).
+	dedup := s.cfg.CacheSize > 0
+	c := newCall()
+	if dedup {
+		s.inflightMu.Lock()
+		if existing, ok := s.inflightFP[fp]; ok {
+			s.inflightMu.Unlock()
+			s.met.dedupHits.Inc()
+			meta.coalesced = true
+			select {
+			case <-existing.done:
+				return waitResult(existing)
+			case <-ctx.Done():
+				return response{}, ctx.Err()
+			}
+		}
+		s.inflightFP[fp] = c
+		s.inflightMu.Unlock()
+	}
+
+	// The leader's job runs on a context detached from the leader's own
+	// request (same deadline, no cancellation): its result is shared
+	// with any coalesced duplicates, so one client hanging up must not
+	// poison the answer everyone else gets.
+	jctx := ctx
+	var jcancel context.CancelFunc
+	if dedup {
+		base := context.WithoutCancel(ctx)
+		if dl, ok := ctx.Deadline(); ok {
+			jctx, jcancel = context.WithDeadline(base, dl)
+		} else {
+			jctx = base
+		}
+	}
+	j := &job{ctx: jctx, cancel: jcancel, m: m, fp: fp, tr: tr, enqueued: time.Now(), call: c}
 	select {
 	case s.jobs <- j:
 	default:
 		// Admission control: a full queue sheds immediately (the
 		// handler answers 429 + Retry-After) instead of letting latency
-		// grow without bound under overload.
+		// grow without bound under overload. Coalesced waiters shed
+		// with their leader.
 		s.met.queueRejects.Inc()
+		s.finishJob(j, jobResult{err: errOverloaded})
 		return response{}, errOverloaded
 	}
 	select {
-	case res := <-j.done:
-		if res.err != nil {
-			return response{}, res.err
-		}
-		return makeResponse(res.pred, res.gen, false, res.rung), nil
+	case <-c.done:
+		return waitResult(c)
 	case <-ctx.Done():
 		return response{}, ctx.Err()
 	}
+}
+
+// waitResult converts a completed call into the handler-facing answer.
+func waitResult(c *call) (response, error) {
+	if c.res.err != nil {
+		return response{}, c.res.err
+	}
+	return makeResponse(c.res.pred, c.res.gen, false, c.res.rung), nil
 }
 
 var errOverloaded = errors.New("serve: prediction queue full")

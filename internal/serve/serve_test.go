@@ -368,7 +368,12 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatalf("%d failed requests", failures.Load())
 	}
 	page := scrapeMetrics(t, ts)
-	if jobs := metricValue(t, page, "serve_batch_jobs_total"); jobs+metricValue(t, page, "serve_cache_hits_total") < clients*perClient {
-		t.Fatalf("accounting: %g jobs + hits for %d requests", jobs, clients*perClient)
+	// Every request is either a batch job, a cache hit, or coalesced onto
+	// an in-flight job for the same fingerprint (single-flight dedup).
+	jobs := metricValue(t, page, "serve_batch_jobs_total")
+	hits := metricValue(t, page, "serve_cache_hits_total")
+	dedup := metricValue(t, page, "serve_dedup_hits_total")
+	if jobs+hits+dedup < clients*perClient {
+		t.Fatalf("accounting: %g jobs + %g hits + %g coalesced for %d requests", jobs, hits, dedup, clients*perClient)
 	}
 }

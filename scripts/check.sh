@@ -29,6 +29,15 @@ go run ./scripts/servesmoke
 # drill. See scripts/gendrill.
 go run ./scripts/gendrill
 
+# Cluster chaos drill: router + three replicas + heavy-tailed load,
+# SIGKILL one replica mid-run, require >= 99% success and router
+# reconvergence after the victim restarts. See scripts/clusterdrill.
+if [[ "${SHORT:-0}" == "1" ]]; then
+    go run ./scripts/clusterdrill -short
+else
+    go run ./scripts/clusterdrill
+fi
+
 # Fuzz smoke: a short native-fuzzing budget per hardened ingestion
 # surface. A clean run means no panic and no typed-error-taxonomy
 # violation found within the budget; regressions crash the script.
