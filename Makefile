@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check smoke gendrill clusterdrill fuzz bench
+.PHONY: build test check smoke gendrill clusterdrill shepherddrill fuzz bench
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ gendrill:
 # reconvergence once the victim restarts.
 clusterdrill:
 	$(GO) run ./scripts/clusterdrill
+
+# shepherddrill runs only the continual-learning drill: serve + shepherd
+# on real binaries, shifted traffic trips the drift detector, a
+# top-evolvement retrain shadows live traffic and is promoted through
+# the probe-validated hot reload, and a fault-injected corrupt candidate
+# is rejected while the live model keeps serving.
+shepherddrill:
+	$(GO) run ./scripts/shepherddrill
 
 # fuzz runs the native fuzz targets over the hardened ingestion
 # surfaces (MatrixMarket parsing and the predict request path). Budget

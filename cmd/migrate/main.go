@@ -11,6 +11,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,31 +23,44 @@ import (
 )
 
 func main() {
-	modelPath := flag.String("model", "model.gob", "source model file")
-	target := flag.String("target", "a8like", "target platform: xeonlike, a8like, titanlike")
-	method := flag.String("method", "top", "migration method: scratch, continuous, top")
-	budget := flag.Int("budget", 200, "target-platform label budget (matrices)")
-	dataIn := flag.String("dataset", "", "retrain on this pre-labeled target-platform corpus (a gendata artifact) instead of collecting -budget labels")
-	maxN := flag.Int("maxn", 2048, "matrix dimension bound for the retraining corpus")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("out", "migrated.gob", "output model file")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "migrate:", err)
-		os.Exit(1)
+// run is main with its exits surfaced: 0 success, 1 typed failure,
+// 2 usage, 130 interrupted. Every gating failure (corrupt artifact,
+// platform/format mismatch, semantic invalidity) must exit non-zero
+// with the typed error spelled out — never fall back to collecting a
+// fresh corpus, which would silently train on the wrong distribution.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("migrate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelPath := fs.String("model", "model.gob", "source model file")
+	target := fs.String("target", "a8like", "target platform: xeonlike, a8like, titanlike")
+	method := fs.String("method", "top", "migration method: scratch, continuous, top")
+	budget := fs.Int("budget", 200, "target-platform label budget (matrices)")
+	dataIn := fs.String("dataset", "", "retrain on this pre-labeled target-platform corpus (a gendata artifact) instead of collecting -budget labels")
+	maxN := fs.Int("maxn", 2048, "matrix dimension bound for the retraining corpus")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "migrated.gob", "output model file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "migrate:", err)
+		return 1
 	}
 	src, err := selector.LoadFile(*modelPath)
 	if err != nil {
 		switch {
 		case errors.Is(err, nn.ErrChecksum), errors.Is(err, nn.ErrTruncated):
-			fail(fmt.Errorf("%s is corrupt or truncated (%v); re-export the source model", *modelPath, err))
+			return fail(fmt.Errorf("%s is corrupt or truncated (%v); re-export the source model", *modelPath, err))
 		case errors.Is(err, nn.ErrBadMagic), errors.Is(err, nn.ErrWrongKind):
-			fail(fmt.Errorf("%s is not a selector model file (%v)", *modelPath, err))
+			return fail(fmt.Errorf("%s is not a selector model file (%v)", *modelPath, err))
 		case errors.Is(err, nn.ErrVersion):
-			fail(fmt.Errorf("%s was written by an incompatible version (%v)", *modelPath, err))
+			return fail(fmt.Errorf("%s was written by an incompatible version (%v)", *modelPath, err))
 		default:
-			fail(err)
+			return fail(err)
 		}
 	}
 	var m selector.TransferMethod
@@ -58,61 +72,62 @@ func main() {
 	case "top":
 		m = selector.TopEvolvement
 	default:
-		fail(fmt.Errorf("unknown method %q", *method))
+		return fail(fmt.Errorf("unknown method %q", *method))
 	}
 	p, err := machine.PlatformByName(*target)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if got, want := len(p.FormatSet()), len(src.Cfg.Formats); got != want {
-		fail(fmt.Errorf("source model selects among %d formats but %s selects among %d; migrate within a platform kind",
+		return fail(fmt.Errorf("source model selects among %d formats but %s selects among %d; migrate within a platform kind",
 			want, *target, got))
 	}
 
 	lab := machine.NewLabeler(p, *seed)
 	var d *dataset.Dataset
 	if *dataIn != "" {
-		fmt.Printf("loading target-platform corpus from %s\n", *dataIn)
+		fmt.Fprintf(stdout, "loading target-platform corpus from %s\n", *dataIn)
 		d, err = dataset.LoadValidated(*dataIn, lab)
 		switch {
 		case errors.Is(err, dataset.ErrCorrupt):
-			fail(fmt.Errorf("%s is corrupt or truncated (%v); regenerate it with gendata", *dataIn, err))
+			return fail(fmt.Errorf("%s is corrupt or truncated (%v); regenerate it with gendata", *dataIn, err))
 		case errors.Is(err, dataset.ErrMismatch):
-			fail(fmt.Errorf("%s was not labeled for %s (%v); migration needs target-platform labels — regenerate with gendata -platform %s", *dataIn, *target, err, *target))
+			return fail(fmt.Errorf("%s was not labeled for %s (%v); migration needs target-platform labels — regenerate with gendata -platform %s", *dataIn, *target, err, *target))
 		case errors.Is(err, dataset.ErrInvalid):
-			fail(fmt.Errorf("%s decodes but fails semantic validation (%v); regenerate it with gendata", *dataIn, err))
+			return fail(fmt.Errorf("%s decodes but fails semantic validation (%v); regenerate it with gendata", *dataIn, err))
 		case err != nil:
-			fail(err)
+			return fail(err)
 		}
 	} else {
-		fmt.Printf("collecting %d labels on %s\n", *budget, p)
+		fmt.Fprintf(stdout, "collecting %d labels on %s\n", *budget, p)
 		d = dataset.Generate(dataset.Config{Count: *budget, Seed: *seed, MaxN: *maxN}, lab)
 	}
 
 	migrated, err := selector.Transfer(src, m)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if m != selector.FromScratch {
 		migrated.Cfg.LearningRate *= 0.4 // standard fine-tuning step size
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("retraining with %s (%d epochs)\n", m, migrated.Cfg.Epochs)
+	fmt.Fprintf(stdout, "retraining with %s (%d epochs)\n", m, migrated.Cfg.Epochs)
 	if _, err := migrated.TrainCtx(ctx, d, nil); err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "migrate: interrupted")
-			os.Exit(130)
+			fmt.Fprintln(stderr, "migrate: interrupted")
+			return 130
 		}
-		fail(err)
+		return fail(err)
 	}
 	metrics, err := migrated.Evaluate(d, nil)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("accuracy on the retraining corpus: %.1f%%\n", metrics.Accuracy()*100)
+	fmt.Fprintf(stdout, "accuracy on the retraining corpus: %.1f%%\n", metrics.Accuracy()*100)
 	if err := migrated.SaveFile(*out); err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("migrated model saved to %s\n", *out)
+	fmt.Fprintf(stdout, "migrated model saved to %s\n", *out)
+	return 0
 }

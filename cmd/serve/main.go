@@ -30,6 +30,16 @@
 // (-dtree, or a built-in heuristic) and recovers it via half-open
 // probes. SERVE_FAULT_INJECT arms chaos points for drills, e.g.
 // SERVE_FAULT_INJECT="serve.predict.panic:3".
+//
+// Continual learning: -feedback-dir captures every answered prediction
+// into a crash-safe JSONL feedback log (size/age-rotated segments that
+// cmd/shepherd folds into an online corpus). Predict requests may
+// report a measured SpMV time via a "spmv_seconds" JSON field; absent
+// that, -feedback-estimates fills in a cache-simulated estimate. The
+// admin listener additionally exposes the shadow-deployment surface
+// (POST /shadow/load, POST /shadow/clear, GET /shadow/scorecard): a
+// loaded shadow model mirrors every -shadow-sample'th prediction for
+// scoring without ever touching a response.
 package main
 
 import (
@@ -71,6 +81,11 @@ func main() {
 	dtreePath := flag.String("dtree", "", "trained decision-tree artifact for the degraded rung (empty = built-in heuristic)")
 	selfURL := flag.String("self", "", "this replica's advertised base URL in a cluster (empty = derive from the listener)")
 	peerFillTimeout := flag.Duration("peer-fill-timeout", 150*time.Millisecond, "peer cache-fill deadline before failing open to local compute")
+	feedbackDir := flag.String("feedback-dir", "", "directory for the crash-safe feedback log (empty disables capture)")
+	feedbackEstimates := flag.Bool("feedback-estimates", true, "fill missing client SpMV timings with cache-simulated estimates")
+	feedbackSegBytes := flag.Int64("feedback-segment-bytes", 1<<20, "feedback log segment size before rotation")
+	feedbackSegAge := flag.Duration("feedback-segment-age", 30*time.Second, "feedback log segment age before rotation")
+	shadowSample := flag.Int("shadow-sample", 8, "mirror every Nth prediction through a loaded shadow model (0 disables)")
 	flag.Parse()
 
 	if spec := os.Getenv("SERVE_FAULT_INJECT"); spec != "" {
@@ -85,22 +100,27 @@ func main() {
 	limits.MaxRows, limits.MaxCols, limits.MaxNNZ = *maxRows, *maxCols, *maxNNZ
 
 	s, err := serve.New(serve.Config{
-		ModelPath:        *model,
-		BatchMax:         *batch,
-		BatchWindow:      *batchWindow,
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheSize:        *cacheSize,
-		MaxBodyBytes:     *maxBody,
-		Limits:           limits,
-		RequestTimeout:   *requestTimeout,
-		PredictTimeout:   *predictTimeout,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		DTreePath:        *dtreePath,
-		SelfURL:          *selfURL,
-		PeerFillTimeout:  *peerFillTimeout,
-		Log:              os.Stderr,
+		ModelPath:               *model,
+		BatchMax:                *batch,
+		BatchWindow:             *batchWindow,
+		Workers:                 *workers,
+		QueueDepth:              *queue,
+		CacheSize:               *cacheSize,
+		MaxBodyBytes:            *maxBody,
+		Limits:                  limits,
+		RequestTimeout:          *requestTimeout,
+		PredictTimeout:          *predictTimeout,
+		BreakerThreshold:        *breakerThreshold,
+		BreakerCooldown:         *breakerCooldown,
+		DTreePath:               *dtreePath,
+		SelfURL:                 *selfURL,
+		PeerFillTimeout:         *peerFillTimeout,
+		FeedbackDir:             *feedbackDir,
+		FeedbackEstimates:       *feedbackEstimates,
+		FeedbackMaxSegmentBytes: *feedbackSegBytes,
+		FeedbackMaxSegmentAge:   *feedbackSegAge,
+		ShadowSampleN:           *shadowSample,
+		Log:                     os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

@@ -89,6 +89,18 @@ func registerImported(m *sparse.COO) synthgen.Spec {
 	return synthgen.Spec{Family: importedFamily, Seed: int64(len(importedRegistry) - 1)}
 }
 
+// ImportCOO registers a matrix that did not come from a generator spec
+// — a request-captured pattern from the serving tier's feedback log, or
+// any other externally sourced matrix — and returns the synthetic spec
+// that addresses it through Record.Matrix(). The registration is
+// in-process only, exactly like ImportMatrixMarket's: a dataset whose
+// records carry these specs serialises stats and labels but not the
+// matrices, so a fresh process must re-register (internal/feedback
+// keeps the patterns in a sidecar store for that).
+func ImportCOO(m *sparse.COO) synthgen.Spec {
+	return registerImported(m)
+}
+
 // Matrix is shadowed for imported records via this hook in Record.
 func importedMatrix(s synthgen.Spec) (*sparse.COO, bool) {
 	if s.Family != importedFamily {

@@ -59,6 +59,11 @@ const (
 	// PointPeerError fails the peer cache-fill call outright — the
 	// dead/refusing shard owner fault, which must also fail open.
 	PointPeerError = "serve.peer.error"
+	// PointCandidateCorrupt flips a byte in a freshly retrained
+	// candidate model artifact before the shepherd offers it for shadow
+	// loading — the corrupt-retrain fault the probe-validated shadow
+	// load must reject while the live model keeps serving.
+	PointCandidateCorrupt = "shepherd.candidate.corrupt"
 )
 
 // Fault describes what an armed point does when reached: sleep for

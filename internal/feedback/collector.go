@@ -1,0 +1,348 @@
+package feedback
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+)
+
+// CollectorConfig parameterises a Collector.
+type CollectorConfig struct {
+	// SegmentDir is the feedback log directory rotated segments are
+	// folded from (a Logger's Dir).
+	SegmentDir string
+	// CorpusPath is the online corpus artifact — a regular
+	// internal/dataset envelope, loadable by train/migrate like any
+	// gendata corpus.
+	CorpusPath string
+	// PatternsPath is the sidecar pattern store (default
+	// CorpusPath+".patterns"): the captured COO patterns that let a
+	// fresh process rebuild the corpus' matrices, plus the fingerprint
+	// dedup set (which must outlive record eviction).
+	PatternsPath string
+	// Labeler labels folded patterns with the platform cost model —
+	// the same labeling path the training corpus used, so online and
+	// offline labels are mutually consistent.
+	Labeler *machine.Labeler
+	// MaxRecords caps the corpus, evicting oldest-first (default 4096).
+	MaxRecords int
+	// Log receives operational lines (nil = silent).
+	Log io.Writer
+}
+
+func (c *CollectorConfig) defaults() error {
+	if c.SegmentDir == "" || c.CorpusPath == "" {
+		return fmt.Errorf("feedback: collector needs SegmentDir and CorpusPath")
+	}
+	if c.Labeler == nil {
+		return fmt.Errorf("feedback: collector needs a labeler")
+	}
+	if c.PatternsPath == "" {
+		c.PatternsPath = c.CorpusPath + ".patterns"
+	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = 4096
+	}
+	return nil
+}
+
+// foldedRec is one deduplicated, labeled pattern in the online corpus.
+type foldedRec struct {
+	fp               uint64
+	stats            sparse.Stats
+	label            sparse.Format
+	times            map[sparse.Format]float64
+	patRows, patCols []int32
+}
+
+// CollectReport summarises one fold pass.
+type CollectReport struct {
+	// Segments is how many rotated segments were folded (and removed).
+	Segments int
+	// Entries are every decoded entry, in capture order — the drift
+	// detector's input (patterned or not).
+	Entries []Entry
+	// Folded counts new unique patterns added to the corpus.
+	Folded int
+	// Duplicates counts entries whose fingerprint was already folded.
+	Duplicates int
+	// NoPattern counts entries too large to carry a pattern.
+	NoPattern int
+	// SkippedLines counts torn or corrupt JSONL lines (the crash-safety
+	// escape valve: a partial final line from a killed replica is data
+	// loss of one entry, never a poisoned fold).
+	SkippedLines int
+	// Records is the corpus size after the fold.
+	Records int
+}
+
+// Collector folds rotated feedback segments into the online corpus:
+// dedup by fingerprint, label with the platform cost model, persist
+// through the dataset envelope machinery (corpus) plus a checksummed
+// sidecar (patterns + dedup set), then delete the folded segments.
+// Persistence happens before deletion, so a crash between the two can
+// only re-fold — and the dedup set makes re-folding idempotent.
+type Collector struct {
+	cfg     CollectorConfig
+	seen    map[uint64]bool
+	records []foldedRec
+}
+
+// NewCollector builds a collector, resuming from a previously
+// persisted corpus when one exists. A corrupt or mismatched corpus is
+// discarded with a log line rather than wedging the loop — the online
+// corpus is rebuilt from traffic, not hand-curated.
+func NewCollector(cfg CollectorConfig) (*Collector, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	c := &Collector{cfg: cfg, seen: map[uint64]bool{}}
+	if err := c.load(); err != nil {
+		c.logf("feedback: discarding persisted online corpus: %v", err)
+		c.seen = map[uint64]bool{}
+		c.records = nil
+	}
+	return c, nil
+}
+
+func (c *Collector) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, format+"\n", args...)
+	}
+}
+
+// Records reports the current corpus size.
+func (c *Collector) Records() int { return len(c.records) }
+
+// Collect runs one fold pass over the rotated segments.
+func (c *Collector) Collect() (*CollectReport, error) {
+	segs, err := SegmentFiles(c.cfg.SegmentDir)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: %w", err)
+	}
+	rep := &CollectReport{}
+	for _, seg := range segs {
+		if err := c.foldSegment(seg, rep); err != nil {
+			return nil, err
+		}
+		rep.Segments++
+	}
+	if len(c.records) > c.cfg.MaxRecords {
+		evicted := len(c.records) - c.cfg.MaxRecords
+		c.records = c.records[evicted:]
+		c.logf("feedback: online corpus capped, %d oldest records evicted", evicted)
+	}
+	if rep.Folded > 0 {
+		if err := c.persist(); err != nil {
+			return nil, err
+		}
+	}
+	// Segments are only removed after a successful persist (or when
+	// they contributed nothing new).
+	for i := 0; i < rep.Segments; i++ {
+		if err := os.Remove(segs[i]); err != nil {
+			c.logf("feedback: removing folded segment: %v", err)
+		}
+	}
+	rep.Records = len(c.records)
+	return rep, nil
+}
+
+func (c *Collector) foldSegment(path string, rep *CollectReport) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("feedback: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			rep.SkippedLines++
+			continue
+		}
+		rep.Entries = append(rep.Entries, e)
+		switch {
+		case !e.HasPattern():
+			rep.NoPattern++
+		case c.seen[e.Fingerprint]:
+			rep.Duplicates++
+		default:
+			label, times := c.cfg.Labeler.Label(e.Stats, e.Fingerprint)
+			c.records = append(c.records, foldedRec{
+				fp:      e.Fingerprint,
+				stats:   e.Stats,
+				label:   label,
+				times:   times,
+				patRows: e.PatRows,
+				patCols: e.PatCols,
+			})
+			c.seen[e.Fingerprint] = true
+			rep.Folded++
+		}
+	}
+	return sc.Err()
+}
+
+// Corpus materialises the online corpus as a live dataset: every
+// pattern is rebuilt and registered through dataset.ImportCOO so
+// Record.Matrix() works — the form selector training consumes.
+func (c *Collector) Corpus() (*dataset.Dataset, error) {
+	if len(c.records) == 0 {
+		return nil, fmt.Errorf("feedback: online corpus is empty")
+	}
+	d := c.newDataset()
+	for _, r := range c.records {
+		m, err := reconstruct(r.stats.Rows, r.stats.Cols, r.patRows, r.patCols)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: rebuilding pattern %x: %w", r.fp, err)
+		}
+		d.Records = append(d.Records, dataset.Record{
+			ID:    r.fp,
+			Spec:  dataset.ImportCOO(m),
+			Stats: r.stats,
+			Label: r.label,
+			Times: r.times,
+		})
+	}
+	return d, nil
+}
+
+func (c *Collector) newDataset() *dataset.Dataset {
+	formats := c.cfg.Labeler.Formats
+	if len(formats) == 0 {
+		formats = c.cfg.Labeler.Platform.FormatSet()
+	}
+	return &dataset.Dataset{Platform: c.cfg.Labeler.Platform.Name, Formats: formats}
+}
+
+func reconstruct(rows, cols int, patRows, patCols []int32) (*sparse.COO, error) {
+	entries := make([]sparse.Entry, len(patRows))
+	for i := range patRows {
+		entries[i] = sparse.Entry{Row: int(patRows[i]), Col: int(patCols[i]), Val: 1}
+	}
+	return sparse.NewCOO(rows, cols, entries)
+}
+
+// wirePatterns is the sidecar payload: the dedup set plus per-record
+// patterns, parallel to the corpus records by fingerprint.
+type wirePatterns struct {
+	Version  int
+	Seen     []uint64
+	FPs      []uint64
+	PatRows  [][]int32
+	PatCols  [][]int32
+	RowsDims []int32
+	ColsDims []int32
+}
+
+const patternsVersion = 1
+
+// persist writes the corpus (dataset envelope) and the pattern sidecar
+// (checksummed envelope) — both atomic temp+fsync+rename writes.
+func (c *Collector) persist() error {
+	d := c.newDataset()
+	w := wirePatterns{Version: patternsVersion}
+	for fp := range c.seen {
+		w.Seen = append(w.Seen, fp)
+	}
+	for _, r := range c.records {
+		d.Records = append(d.Records, dataset.Record{
+			ID:    r.fp,
+			Spec:  dataset.ImportCOO(mustReconstruct(r)),
+			Stats: r.stats,
+			Label: r.label,
+			Times: r.times,
+		})
+		w.FPs = append(w.FPs, r.fp)
+		w.PatRows = append(w.PatRows, r.patRows)
+		w.PatCols = append(w.PatCols, r.patCols)
+		w.RowsDims = append(w.RowsDims, int32(r.stats.Rows))
+		w.ColsDims = append(w.ColsDims, int32(r.stats.Cols))
+	}
+	if err := d.Save(c.cfg.CorpusPath); err != nil {
+		return fmt.Errorf("feedback: persisting online corpus: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return fmt.Errorf("feedback: encoding patterns: %w", err)
+	}
+	if err := nn.WriteEnvelopeFile(c.cfg.PatternsPath, nn.EnvelopeFeedbackPatterns, buf.Bytes()); err != nil {
+		return fmt.Errorf("feedback: persisting patterns: %w", err)
+	}
+	return nil
+}
+
+func mustReconstruct(r foldedRec) *sparse.COO {
+	m, err := reconstruct(r.stats.Rows, r.stats.Cols, r.patRows, r.patCols)
+	if err != nil {
+		// The pattern was validated when first folded; failure here
+		// means in-memory corruption.
+		panic(fmt.Sprintf("feedback: pattern %x no longer reconstructs: %v", r.fp, err))
+	}
+	return m
+}
+
+// load resumes collector state from a previous process' persisted
+// corpus and pattern sidecar. Missing files mean a fresh start; a
+// present-but-unreadable pair is an error the constructor downgrades
+// to a fresh start.
+func (c *Collector) load() error {
+	if _, err := os.Stat(c.cfg.CorpusPath); os.IsNotExist(err) {
+		return nil
+	}
+	d, err := dataset.LoadValidated(c.cfg.CorpusPath, c.cfg.Labeler)
+	if err != nil {
+		return err
+	}
+	payload, err := nn.ReadEnvelopeFile(c.cfg.PatternsPath, nn.EnvelopeFeedbackPatterns)
+	if err != nil {
+		return fmt.Errorf("pattern sidecar: %w", err)
+	}
+	var w wirePatterns
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return fmt.Errorf("pattern sidecar: %w", err)
+	}
+	if w.Version != patternsVersion {
+		return fmt.Errorf("pattern sidecar version %d, supported %d", w.Version, patternsVersion)
+	}
+	if len(w.FPs) != len(w.PatRows) || len(w.FPs) != len(w.PatCols) {
+		return fmt.Errorf("pattern sidecar is internally inconsistent")
+	}
+	pats := make(map[uint64]int, len(w.FPs))
+	for i, fp := range w.FPs {
+		pats[fp] = i
+	}
+	for _, r := range d.Records {
+		i, ok := pats[r.ID]
+		if !ok {
+			return fmt.Errorf("corpus record %x has no pattern", r.ID)
+		}
+		c.records = append(c.records, foldedRec{
+			fp:      r.ID,
+			stats:   r.Stats,
+			label:   r.Label,
+			times:   r.Times,
+			patRows: w.PatRows[i],
+			patCols: w.PatCols[i],
+		})
+	}
+	for _, fp := range w.Seen {
+		c.seen[fp] = true
+	}
+	return nil
+}

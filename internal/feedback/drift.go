@@ -1,0 +1,370 @@
+package feedback
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// Drift detection: the shepherd's trigger. The detector compares what
+// production traffic looks like (the folded feedback entries) against
+// the profile of the corpus the live model was trained on, over four
+// signals:
+//
+//   - prediction mix: total-variation distance between the window's
+//     chosen-format distribution and the training corpus' label mix;
+//   - feature shift: the largest per-feature standardised mean shift
+//     (in training-corpus standard deviations) of the structural
+//     feature vector;
+//   - rung occupancy: the fraction of answers that did not come from
+//     the CNN rung (a sick model drifts down the ladder);
+//   - cache-hit decay: a workload of fresh patterns stops hitting the
+//     prediction cache, so a collapsing window hit rate against the
+//     long-run rate flags a pattern-population change even before the
+//     features move.
+//
+// Windows vote drifted/clean, and hysteresis (TripAfter consecutive
+// drifted windows to fire, ClearAfter to clear) keeps a noisy boundary
+// from flapping the retrain machinery.
+
+// FeatureNames names the drift feature vector, index-aligned with
+// FeatureVector.
+var FeatureNames = []string{
+	"log_rows", "log_cols", "log_nnz", "log_avg_row_nnz",
+	"row_cv", "ell_fill", "log_ndiags", "diag_dominance",
+	"col_spread", "gather_miss_32k",
+}
+
+// FeatureVector projects structural stats onto the drift features.
+// Counts are log-compressed (corpora span orders of magnitude);
+// ratio-valued stats pass through.
+func FeatureVector(st sparse.Stats) []float64 {
+	return []float64{
+		math.Log1p(float64(st.Rows)),
+		math.Log1p(float64(st.Cols)),
+		math.Log1p(float64(st.NNZ)),
+		math.Log1p(st.AvgRowNNZ),
+		st.RowNNZCV,
+		st.ELLFill,
+		math.Log1p(float64(st.NumDiags)),
+		st.DiagDominance,
+		st.AvgColSpread,
+		st.GatherMiss32K,
+	}
+}
+
+// Profile is the training-corpus reference the detector compares
+// against: per-feature means and standard deviations plus the label
+// mix.
+type Profile struct {
+	Platform    string
+	Count       int
+	LabelMix    map[string]float64
+	FeatureMean []float64
+	FeatureSD   []float64
+}
+
+// NewProfile computes the reference profile of a training corpus.
+func NewProfile(d *dataset.Dataset) Profile {
+	p := Profile{
+		Platform:    d.Platform,
+		Count:       len(d.Records),
+		LabelMix:    map[string]float64{},
+		FeatureMean: make([]float64, len(FeatureNames)),
+		FeatureSD:   make([]float64, len(FeatureNames)),
+	}
+	if len(d.Records) == 0 {
+		return p
+	}
+	n := float64(len(d.Records))
+	sumsq := make([]float64, len(FeatureNames))
+	for _, r := range d.Records {
+		p.LabelMix[r.Label.String()] += 1 / n
+		for i, v := range FeatureVector(r.Stats) {
+			p.FeatureMean[i] += v
+			sumsq[i] += v * v
+		}
+	}
+	for i := range p.FeatureMean {
+		p.FeatureMean[i] /= n
+		variance := sumsq[i]/n - p.FeatureMean[i]*p.FeatureMean[i]
+		if variance < 0 {
+			variance = 0
+		}
+		p.FeatureSD[i] = math.Sqrt(variance)
+	}
+	return p
+}
+
+// DetectorConfig parameterises a Detector.
+type DetectorConfig struct {
+	// Window is how many entries form one evaluation window (default
+	// 48).
+	Window int
+	// MixThreshold is the total-variation distance on the prediction
+	// mix beyond which a window votes drifted (default 0.35).
+	MixThreshold float64
+	// FeatureThreshold is the standardised mean-shift (in training-SD
+	// units) beyond which a window votes drifted (default 1.5).
+	FeatureThreshold float64
+	// RungThreshold is the non-CNN answer fraction beyond which a
+	// window votes drifted (default 0.25).
+	RungThreshold float64
+	// CacheDecay flags a window whose cache-hit rate fell below this
+	// fraction of the long-run rate (default 0.5), once the long run is
+	// established (>= 4 windows).
+	CacheDecay float64
+	// TripAfter is how many consecutive drifted windows fire the
+	// detector (default 3); ClearAfter clean windows clear it (default
+	// 3).
+	TripAfter  int
+	ClearAfter int
+	// Registry receives the feedback_drift_* instrument set (nil =
+	// private registry).
+	Registry *obs.Registry
+}
+
+func (c *DetectorConfig) defaults() {
+	if c.Window <= 0 {
+		c.Window = 48
+	}
+	if c.MixThreshold <= 0 {
+		c.MixThreshold = 0.35
+	}
+	if c.FeatureThreshold <= 0 {
+		c.FeatureThreshold = 1.5
+	}
+	if c.RungThreshold <= 0 {
+		c.RungThreshold = 0.25
+	}
+	if c.CacheDecay <= 0 {
+		c.CacheDecay = 0.5
+	}
+	if c.TripAfter <= 0 {
+		c.TripAfter = 3
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 3
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+}
+
+// Detector states.
+const (
+	DriftStable    = 0
+	DriftSuspect   = 1
+	DriftConfirmed = 2
+)
+
+// DriftSnapshot is the detector's last-window reading, reported in the
+// shepherd's scorecard.
+type DriftSnapshot struct {
+	State          int     `json:"state"` // 0 stable, 1 suspect, 2 drifted
+	Windows        int     `json:"windows"`
+	DriftedWindows int     `json:"drifted_windows"`
+	MixDistance    float64 `json:"mix_distance"`
+	FeatureShift   float64 `json:"feature_shift"`
+	ShiftedFeature string  `json:"shifted_feature,omitempty"`
+	RungFraction   float64 `json:"rung_fraction"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	LongRunHitRate float64 `json:"long_run_hit_rate"`
+}
+
+// driftMetrics is the feedback_drift_* instrument set.
+type driftMetrics struct {
+	state        *obs.Gauge
+	mix          *obs.Gauge
+	featureShift *obs.Gauge
+	rungFraction *obs.Gauge
+	cacheHitRate *obs.Gauge
+	windows      *obs.CounterVec
+	trips        *obs.Counter
+}
+
+func newDriftMetrics(r *obs.Registry) *driftMetrics {
+	return &driftMetrics{
+		state:        r.Gauge("feedback_drift_state", "Drift detector state (0=stable, 1=suspect, 2=drifted)."),
+		mix:          r.Gauge("feedback_drift_mix_distance", "Last window's prediction-mix total-variation distance vs the training profile."),
+		featureShift: r.Gauge("feedback_drift_feature_shift", "Last window's largest standardised feature mean shift (training-SD units)."),
+		rungFraction: r.Gauge("feedback_drift_rung_fraction", "Last window's non-CNN answer fraction."),
+		cacheHitRate: r.Gauge("feedback_drift_cache_hit_rate", "Last window's prediction-cache hit rate."),
+		windows:      r.CounterVec("feedback_drift_windows_total", "Evaluated drift windows, by verdict."),
+		trips:        r.Counter("feedback_drift_trips_total", "Times sustained drift fired the detector."),
+	}
+}
+
+// Detector is the windowed drift monitor. It is not goroutine-safe:
+// the shepherd observes entries from its single supervision loop.
+type Detector struct {
+	cfg     DetectorConfig
+	profile Profile
+	met     *driftMetrics
+
+	// Current window accumulators.
+	n        int
+	mix      map[string]float64
+	featSum  []float64
+	nonCNN   int
+	cacheHit int
+
+	// Long-run cache-hit reference.
+	totalEntries int
+	totalHits    int
+
+	windows        int
+	driftedWindows int
+	consecDrift    int
+	consecClean    int
+	state          int
+	last           DriftSnapshot
+}
+
+// NewDetector builds a detector against the given training profile.
+func NewDetector(p Profile, cfg DetectorConfig) *Detector {
+	cfg.defaults()
+	return &Detector{
+		cfg:     cfg,
+		profile: p,
+		met:     newDriftMetrics(cfg.Registry),
+		mix:     map[string]float64{},
+		featSum: make([]float64, len(FeatureNames)),
+	}
+}
+
+// Observe accumulates one entry, evaluating the window when full.
+func (d *Detector) Observe(e Entry) {
+	d.n++
+	d.mix[e.Format]++
+	for i, v := range FeatureVector(e.Stats) {
+		d.featSum[i] += v
+	}
+	if e.Rung != "cnn" {
+		d.nonCNN++
+	}
+	if e.CacheHit {
+		d.cacheHit++
+	}
+	if d.n >= d.cfg.Window {
+		d.evaluate()
+	}
+}
+
+// evaluate closes the current window and applies hysteresis.
+func (d *Detector) evaluate() {
+	n := float64(d.n)
+	snap := DriftSnapshot{
+		RungFraction: float64(d.nonCNN) / n,
+		CacheHitRate: float64(d.cacheHit) / n,
+	}
+
+	// Prediction-mix total variation vs the training label mix.
+	keys := map[string]bool{}
+	for k := range d.mix {
+		keys[k] = true
+	}
+	for k := range d.profile.LabelMix {
+		keys[k] = true
+	}
+	for k := range keys {
+		snap.MixDistance += math.Abs(d.mix[k]/n - d.profile.LabelMix[k])
+	}
+	snap.MixDistance /= 2
+
+	// Largest standardised feature mean shift.
+	for i := range d.featSum {
+		sd := d.profile.FeatureSD[i]
+		if sd < 1e-9 {
+			continue
+		}
+		shift := math.Abs(d.featSum[i]/n-d.profile.FeatureMean[i]) / sd
+		if shift > snap.FeatureShift {
+			snap.FeatureShift = shift
+			snap.ShiftedFeature = FeatureNames[i]
+		}
+	}
+
+	// Cache-hit decay vs the long run established by earlier windows.
+	cacheDrifted := false
+	if d.totalEntries >= 4*d.cfg.Window {
+		longRun := float64(d.totalHits) / float64(d.totalEntries)
+		snap.LongRunHitRate = longRun
+		cacheDrifted = longRun > 0.1 && snap.CacheHitRate < d.cfg.CacheDecay*longRun
+	}
+	d.totalEntries += d.n
+	d.totalHits += d.cacheHit
+
+	drifted := snap.MixDistance > d.cfg.MixThreshold ||
+		snap.FeatureShift > d.cfg.FeatureThreshold ||
+		snap.RungFraction > d.cfg.RungThreshold ||
+		cacheDrifted
+
+	d.windows++
+	if drifted {
+		d.driftedWindows++
+		d.consecDrift++
+		d.consecClean = 0
+		d.met.windows.With(`verdict="drifted"`).Inc()
+	} else {
+		d.consecClean++
+		d.consecDrift = 0
+		d.met.windows.With(`verdict="clean"`).Inc()
+	}
+
+	switch {
+	case d.consecDrift >= d.cfg.TripAfter:
+		if d.state != DriftConfirmed {
+			d.met.trips.Inc()
+		}
+		d.state = DriftConfirmed
+	case d.state == DriftConfirmed && d.consecClean < d.cfg.ClearAfter:
+		// Confirmed drift holds until ClearAfter clean windows.
+	case d.consecClean >= d.cfg.ClearAfter:
+		d.state = DriftStable
+	case d.consecDrift > 0:
+		d.state = DriftSuspect
+	}
+
+	snap.State = d.state
+	snap.Windows = d.windows
+	snap.DriftedWindows = d.driftedWindows
+	d.last = snap
+
+	d.met.state.Set(float64(d.state))
+	d.met.mix.Set(snap.MixDistance)
+	d.met.featureShift.Set(snap.FeatureShift)
+	d.met.rungFraction.Set(snap.RungFraction)
+	d.met.cacheHitRate.Set(snap.CacheHitRate)
+
+	// Reset the window accumulators.
+	d.n, d.nonCNN, d.cacheHit = 0, 0, 0
+	d.mix = map[string]float64{}
+	for i := range d.featSum {
+		d.featSum[i] = 0
+	}
+}
+
+// Drifted reports whether sustained drift is confirmed.
+func (d *Detector) Drifted() bool { return d.state == DriftConfirmed }
+
+// Snapshot returns the last evaluated window's reading.
+func (d *Detector) Snapshot() DriftSnapshot { return d.last }
+
+// Rebase re-anchors the detector on a new profile (after a promotion:
+// the candidate was trained on the drifted traffic, so that traffic is
+// the new normal) and clears all window state.
+func (d *Detector) Rebase(p Profile) {
+	d.profile = p
+	d.n, d.nonCNN, d.cacheHit = 0, 0, 0
+	d.mix = map[string]float64{}
+	for i := range d.featSum {
+		d.featSum[i] = 0
+	}
+	d.totalEntries, d.totalHits = 0, 0
+	d.consecDrift, d.consecClean = 0, 0
+	d.state = DriftStable
+	d.met.state.Set(float64(d.state))
+}

@@ -1,0 +1,99 @@
+package feedback
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/sparse"
+)
+
+// The fallback SpMV timing estimate: when a client does not report how
+// long its SpMV actually took, the logger replays one SpMV iteration of
+// the posted matrix — in the format the server chose — through a small
+// simulated cache hierarchy and converts the per-level hit counts into
+// seconds with nominal latencies. This is the same simulation framework
+// the machine cost models are built on, so estimated and labeled
+// timings live on a comparable scale; the point is relative movement
+// (drift in the observed cost distribution), not wall-clock fidelity.
+
+// Nominal hierarchy geometry and timing for the estimate.
+const (
+	estL1Bytes   = 32 << 10
+	estL2Bytes   = 256 << 10
+	estL3Bytes   = 2 << 20
+	estLineBytes = 64
+	estClockHz   = 2.4e9
+)
+
+// estLatencies are per-level hit latencies in cycles (L1, L2, L3,
+// memory).
+var estLatencies = []int{4, 12, 40, 180}
+
+// estMaxElems caps the converted-format size the estimator will
+// replay: a scattered matrix chosen (wrongly) as DIA or ELL can blow up
+// quadratically on conversion, and an estimate is never worth that.
+const estMaxElems = 16 << 20
+
+// estimator owns a reusable simulated hierarchy (the logger's flusher
+// is single-threaded, so no locking).
+type estimator struct {
+	h *cachesim.Hierarchy
+}
+
+func newEstimator() (*estimator, error) {
+	l1, err := cachesim.NewCache("L1", estL1Bytes, estLineBytes, 8)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cachesim.NewCache("L2", estL2Bytes, estLineBytes, 8)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := cachesim.NewCache("L3", estL3Bytes, estLineBytes, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &estimator{h: cachesim.NewHierarchy(l1, l2, l3)}, nil
+}
+
+// conversionElems approximates how many stored elements the target
+// format would materialise — the blowup guard.
+func conversionElems(f sparse.Format, st sparse.Stats) int64 {
+	switch f {
+	case sparse.FormatDIA:
+		return int64(st.NumDiags) * int64(st.Rows)
+	case sparse.FormatELL, sparse.FormatHYB:
+		return int64(st.MaxRowNNZ) * int64(st.Rows)
+	default:
+		return int64(st.NNZ)
+	}
+}
+
+func (e *estimator) spmvSeconds(m *sparse.COO, f sparse.Format, st sparse.Stats) (float64, error) {
+	if conversionElems(f, st) > estMaxElems {
+		return 0, fmt.Errorf("feedback: estimate skipped, %v conversion too large", f)
+	}
+	conv, err := sparse.Convert(m, f)
+	if err != nil {
+		return 0, err
+	}
+	e.h.Reset()
+	if _, err := cachesim.ReplaySpMV(e.h, conv, 1); err != nil {
+		return 0, err
+	}
+	cyc, err := e.h.Cycles(estLatencies)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cyc) / estClockHz, nil
+}
+
+// EstimateSpMVSeconds is the standalone form of the logger's timing
+// estimate (tests and offline tooling).
+func EstimateSpMVSeconds(m *sparse.COO, f sparse.Format) (float64, error) {
+	e, err := newEstimator()
+	if err != nil {
+		return 0, err
+	}
+	return e.spmvSeconds(m, f, sparse.ComputeStats(m))
+}

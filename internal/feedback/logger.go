@@ -1,0 +1,382 @@
+package feedback
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// activeName is the segment currently being appended to. Rotation
+// renames it to a numbered segment (segment files are what the
+// Collector folds; the active file is never read by anyone else).
+const activeName = "feedback.jsonl"
+
+// LoggerConfig parameterises a Logger.
+type LoggerConfig struct {
+	// Dir is the feedback log directory (created if missing).
+	Dir string
+	// MaxSegmentBytes rotates the active segment beyond this size
+	// (default 1 MiB).
+	MaxSegmentBytes int64
+	// MaxSegmentAge rotates the active segment beyond this age even
+	// when small (default 30s) — bounding how stale the collector's
+	// view can be under light traffic.
+	MaxSegmentAge time.Duration
+	// FlushInterval is the background batch-flush period (default
+	// 200ms).
+	FlushInterval time.Duration
+	// QueueDepth bounds entries waiting for the background flusher;
+	// beyond it entries are dropped (counted, never blocking the
+	// request path — feedback is telemetry, not a dependency). Default
+	// 1024.
+	QueueDepth int
+	// MaxPatternNNZ caps which matrices get their COO pattern embedded
+	// in the entry (default 4096; negative disables pattern capture).
+	// Larger matrices still contribute features to drift detection.
+	MaxPatternNNZ int
+	// EstimateTimings replays an SpMV through the cache simulator for
+	// entries without a client-reported timing (background thread; the
+	// estimate is skipped for matrices past the estimator's cost guard).
+	EstimateTimings bool
+	// Registry receives the feedback_* instrument set (nil = private
+	// registry).
+	Registry *obs.Registry
+	// Log receives operational lines (nil = silent).
+	Log io.Writer
+}
+
+func (c *LoggerConfig) defaults() {
+	if c.MaxSegmentBytes <= 0 {
+		c.MaxSegmentBytes = 1 << 20
+	}
+	if c.MaxSegmentAge <= 0 {
+		c.MaxSegmentAge = 30 * time.Second
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxPatternNNZ == 0 {
+		c.MaxPatternNNZ = 4096
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+}
+
+// loggerMetrics is the Logger's instrument set (the feedback_* series).
+type loggerMetrics struct {
+	entries     *obs.Counter
+	dropped     *obs.Counter
+	flushed     *obs.Counter
+	rotations   *obs.Counter
+	estimates   *obs.Counter
+	writeErrors *obs.Counter
+	activeBytes *obs.Gauge
+}
+
+func newLoggerMetrics(r *obs.Registry) *loggerMetrics {
+	return &loggerMetrics{
+		entries:     r.Counter("feedback_entries_total", "Prediction outcomes captured into the feedback log."),
+		dropped:     r.Counter("feedback_dropped_total", "Feedback entries dropped because the capture queue was full."),
+		flushed:     r.Counter("feedback_flushed_total", "Feedback entries written to the active segment."),
+		rotations:   r.Counter("feedback_rotations_total", "Feedback segment rotations (size, age or shutdown)."),
+		estimates:   r.Counter("feedback_estimates_total", "Entries whose SpMV timing was cachesim-estimated."),
+		writeErrors: r.Counter("feedback_write_errors_total", "Failed feedback log writes (entries lost)."),
+		activeBytes: r.Gauge("feedback_active_bytes", "Bytes in the active (unrotated) feedback segment."),
+	}
+}
+
+// pending is one capture awaiting background processing. The matrix
+// rides along so stats, pattern and estimate are computed off the
+// request path.
+type pending struct {
+	m *sparse.COO
+	e Entry
+}
+
+// Logger is the crash-safe feedback capture sink. Record is the hot
+// path: it stamps the entry and hands it to a single background
+// flusher over a bounded queue (full queue = counted drop, never a
+// stall). The flusher computes the expensive fields, appends JSONL to
+// the active segment with batched flushes, and rotates segments by
+// size and age with an fsync'd atomic rename — a crash can lose at
+// most the unflushed tail of the active file, and a torn final line is
+// skipped (and counted) by the Collector.
+type Logger struct {
+	cfg LoggerConfig
+	met *loggerMetrics
+	est *estimator
+
+	ch     chan pending
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Flusher-goroutine state (no locking needed beyond Close's wg).
+	file      *os.File
+	w         *bufio.Writer
+	segBytes  int64
+	segOpened time.Time
+	seq       int
+	unflushed int
+	firstErr  error
+}
+
+// NewLogger opens (or creates) the feedback log in cfg.Dir. An active
+// segment left behind by a crashed process is rotated immediately so
+// its entries become visible to the Collector.
+func NewLogger(cfg LoggerConfig) (*Logger, error) {
+	cfg.defaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("feedback: logger needs a directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feedback: %w", err)
+	}
+	l := &Logger{
+		cfg:  cfg,
+		met:  newLoggerMetrics(cfg.Registry),
+		ch:   make(chan pending, cfg.QueueDepth),
+		quit: make(chan struct{}),
+	}
+	if cfg.EstimateTimings {
+		est, err := newEstimator()
+		if err != nil {
+			return nil, err
+		}
+		l.est = est
+	}
+	l.seq = nextSegmentSeq(cfg.Dir)
+	// Crash recovery: a non-empty active file from a previous process
+	// is sealed as a segment before this process appends anything.
+	if fi, err := os.Stat(l.activePath()); err == nil && fi.Size() > 0 {
+		if err := os.Rename(l.activePath(), l.segmentPath(l.seq)); err != nil {
+			return nil, fmt.Errorf("feedback: sealing stale active segment: %w", err)
+		}
+		l.seq++
+	}
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	l.wg.Add(1)
+	go l.flusher()
+	return l, nil
+}
+
+func (l *Logger) activePath() string { return filepath.Join(l.cfg.Dir, activeName) }
+
+func (l *Logger) segmentPath(seq int) string {
+	return filepath.Join(l.cfg.Dir, fmt.Sprintf("seg-%06d.jsonl", seq))
+}
+
+// SegmentFiles lists the rotated (collector-visible) segments of a
+// feedback directory in fold order.
+func SegmentFiles(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// nextSegmentSeq scans dir for existing segments and returns the first
+// unused sequence number.
+func nextSegmentSeq(dir string) int {
+	paths, _ := SegmentFiles(dir)
+	next := 0
+	for _, p := range paths {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(p), "seg-%d.jsonl", &n); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}
+
+func (l *Logger) openActive() error {
+	f, err := os.OpenFile(l.activePath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("feedback: %w", err)
+	}
+	l.file = f
+	l.w = bufio.NewWriter(f)
+	l.segBytes = 0
+	l.segOpened = time.Now()
+	l.met.activeBytes.Set(0)
+	return nil
+}
+
+// Record captures one prediction outcome. It never blocks: the entry is
+// stamped and enqueued for the background flusher, and a full queue
+// drops it (feedback_dropped_total). The matrix is referenced, not
+// copied — serve's matrices are immutable after parse.
+func (l *Logger) Record(m *sparse.COO, e Entry) {
+	if l.closed.Load() {
+		return
+	}
+	e.Time = time.Now().UnixNano()
+	select {
+	case l.ch <- pending{m: m, e: e}:
+		l.met.entries.Inc()
+	default:
+		l.met.dropped.Inc()
+	}
+}
+
+// Close flushes, seals the active segment as a final rotated segment
+// and stops the flusher. It returns the first write error the flusher
+// hit (entries after an error are counted lost, not retried).
+func (l *Logger) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	close(l.quit)
+	l.wg.Wait()
+	return l.firstErr
+}
+
+// flusher is the single background goroutine owning the file state.
+func (l *Logger) flusher() {
+	defer l.wg.Done()
+	ticker := time.NewTicker(l.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case p := <-l.ch:
+			l.process(p)
+			if l.unflushed >= 64 {
+				l.flush()
+			}
+			l.maybeRotate()
+		case <-ticker.C:
+			l.flush()
+			l.maybeRotate()
+		case <-l.quit:
+			for {
+				select {
+				case p := <-l.ch:
+					l.process(p)
+					l.maybeRotate()
+				default:
+					l.flush()
+					if l.segBytes > 0 {
+						l.rotate()
+					}
+					if l.file != nil {
+						l.file.Close()
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// process fills the expensive fields and appends one JSONL line.
+func (l *Logger) process(p pending) {
+	if l.w == nil { // a failed reopen after rotation; entries are lost
+		l.met.writeErrors.Inc()
+		return
+	}
+	e := p.e
+	e.Stats = sparse.ComputeStats(p.m)
+	if n := p.m.NNZ(); l.cfg.MaxPatternNNZ >= 0 && n <= l.cfg.MaxPatternNNZ {
+		e.PatRows = p.m.Rows
+		e.PatCols = p.m.Cols
+	}
+	if l.est != nil && e.ClientSec == 0 {
+		f, err := sparse.ParseFormat(e.Format)
+		if err == nil {
+			if sec, err := l.est.spmvSeconds(p.m, f, e.Stats); err == nil {
+				e.EstSec = sec
+				l.met.estimates.Inc()
+			}
+		}
+	}
+	line, err := json.Marshal(&e)
+	if err != nil {
+		l.writeError(err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := l.w.Write(line); err != nil {
+		l.writeError(err)
+		return
+	}
+	l.segBytes += int64(len(line))
+	l.met.activeBytes.Set(float64(l.segBytes))
+	l.met.flushed.Inc()
+	l.unflushed++
+}
+
+func (l *Logger) flush() {
+	if l.unflushed == 0 {
+		return
+	}
+	if err := l.w.Flush(); err != nil {
+		l.writeError(err)
+	}
+	l.unflushed = 0
+}
+
+// maybeRotate seals the active segment when it is big or old enough.
+func (l *Logger) maybeRotate() {
+	if l.segBytes >= l.cfg.MaxSegmentBytes ||
+		(l.segBytes > 0 && time.Since(l.segOpened) >= l.cfg.MaxSegmentAge) {
+		l.rotate()
+	}
+}
+
+// rotate seals the active segment: flush, fsync, rename to the next
+// numbered segment, reopen a fresh active file. The fsync-then-rename
+// order is what makes a sealed segment durable — the Collector never
+// sees a segment whose bytes may still be in flight.
+func (l *Logger) rotate() {
+	if l.file == nil { // a previous reopen failed; retry it instead
+		if err := l.openActive(); err != nil {
+			l.writeError(err)
+		}
+		return
+	}
+	l.flush()
+	if err := l.file.Sync(); err != nil {
+		l.writeError(err)
+	}
+	if err := l.file.Close(); err != nil {
+		l.writeError(err)
+	}
+	if err := os.Rename(l.activePath(), l.segmentPath(l.seq)); err != nil {
+		l.writeError(err)
+	} else {
+		l.seq++
+		l.met.rotations.Inc()
+	}
+	if err := l.openActive(); err != nil {
+		l.file, l.w = nil, nil
+		l.writeError(err)
+	}
+}
+
+func (l *Logger) writeError(err error) {
+	l.met.writeErrors.Inc()
+	if l.firstErr == nil {
+		l.firstErr = err
+		if l.cfg.Log != nil {
+			fmt.Fprintf(l.cfg.Log, "feedback: log write error: %v\n", err)
+		}
+	}
+}

@@ -55,6 +55,11 @@ const (
 	// EnvelopeDatasetManifest holds the corpus build journal's manifest
 	// (config fingerprint plus the CRC'd list of completed shards).
 	EnvelopeDatasetManifest
+	// EnvelopeFeedbackPatterns holds the sidecar pattern store of an
+	// online feedback corpus (internal/feedback): the request-captured
+	// COO patterns that let a fresh process rebuild the matrices a
+	// corpus' records describe, plus the fingerprint dedup set.
+	EnvelopeFeedbackPatterns
 )
 
 // Typed envelope errors. Callers match with errors.Is to distinguish

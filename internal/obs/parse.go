@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseMetrics reads a Prometheus text exposition (the format
+// Registry.WriteTo renders) back into a flat map keyed by the series
+// name including its label block, e.g.
+//
+//	serve_model_generation          -> 2
+//	serve_rung_total{rung="cnn"}    -> 41
+//
+// It is the scrape-side counterpart of WriteTo, used by the shepherd
+// supervisor and the chaos drills to assert on a live replica's state
+// without linking against its process. Comment lines are skipped;
+// histogram bucket/sum/count series parse like any other. Unparsable
+// value fields are an error (a scrape that half-parses would make
+// assertions silently vacuous).
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the field after the last space; the name (with
+		// its label block, which may itself contain spaces inside quoted
+		// values) is everything before it.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("obs: unparsable metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in metric line %q: %w", line, err)
+		}
+		// Histogram sum/count series render with an empty label block
+		// ("name{}"); normalise so callers key by the bare name.
+		name := strings.TrimSuffix(strings.TrimSpace(line[:cut]), "{}")
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

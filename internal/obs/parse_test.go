@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// ParseMetrics must round-trip what WriteTo renders, labels included.
+func TestParseMetricsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "requests").Add(7)
+	r.Gauge("t_generation", "gen").SetInt(3)
+	r.CounterVec("t_rung_total", "rungs").With(`rung="cnn"`).Add(41)
+	r.Histogram("t_seconds", "latency", []float64{0.1, 1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		"t_requests_total":         7,
+		"t_generation":             3,
+		`t_rung_total{rung="cnn"}`: 41,
+		"t_seconds_count":          1,
+	} {
+		if got[key] != want {
+			t.Errorf("%s = %v, want %v (parsed: %v)", key, got[key], want, got)
+		}
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	if _, err := ParseMetrics(strings.NewReader("a_metric not-a-number\n")); err == nil {
+		t.Fatal("non-numeric value parsed without error")
+	}
+}

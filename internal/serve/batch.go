@@ -20,6 +20,10 @@ type job struct {
 	tr       *obs.Trace // request trace (nil-safe); workers add queue/batch/rung spans
 	enqueued time.Time  // when the handler submitted the job (queue span start)
 	call     *call      // completion record, shared with coalesced duplicates
+
+	// clientSec is the client-reported SpMV seconds riding the request
+	// (0 = none), captured into the feedback log with the answer.
+	clientSec float64
 }
 
 type jobResult struct {
@@ -142,9 +146,11 @@ func (s *Server) runBatch(batch []*job) {
 		j.tr.ObserveSpan("queue", j.enqueued)
 	}
 
+	var mirrored []shadowSample
 	for _, j := range batch {
 		rungStart := time.Now()
 		pred, rung := s.ladderPredict(j.ctx, sel, j.m)
+		liveNs := time.Since(rungStart).Nanoseconds()
 		j.tr.ObserveSpan("rung:"+rung, rungStart)
 		s.met.rungs.With(rungLabel(rung)).Inc()
 		if pred.FellBack {
@@ -162,7 +168,15 @@ func (s *Server) runBatch(batch []*job) {
 		j.tr.ObserveSpan("batch", batchStart)
 		s.finishJob(j, jobResult{pred: pred, gen: gen, rung: rung})
 		answered++
+		// The answer is delivered; capture it for the feedback log and
+		// queue the shadow mirror (run strictly after the whole batch is
+		// answered — see shadow.go).
+		s.recordFeedback(j.m, j.fp, pred, rung, gen, false, j.clientSec)
+		if s.shouldShadow() {
+			mirrored = append(mirrored, shadowSample{m: j.m, live: pred, liveNs: liveNs})
+		}
 	}
+	s.mirrorShadow(mirrored)
 }
 
 func (s *Server) answerAll(jobs []*job, res jobResult) {

@@ -41,3 +41,15 @@ func BenchmarkPredictUncached(b *testing.B) {
 		c.BatchWindow = 50 * time.Microsecond
 	})
 }
+
+// BenchmarkPredictFeedback is the cached hot path with feedback logging
+// enabled — the overhead budget for the continual-learning capture
+// (Record is non-blocking; the cost allowed on the serving path is
+// building the entry and the channel send). Guarded by
+// scripts/benchgate.
+func BenchmarkPredictFeedback(b *testing.B) {
+	benchPredict(b, func(c *Config) {
+		c.FeedbackDir = b.TempDir()
+		c.FeedbackEstimates = false
+	})
+}

@@ -50,7 +50,7 @@ func FuzzPredictJSON(f *testing.F) {
 		}
 		req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader([]byte(body)))
 		req.Header.Set("Content-Type", contentType)
-		m, err := s.parseMatrix(context.Background(), req)
+		m, _, err := s.parseMatrix(context.Background(), req)
 		if err != nil {
 			if st := ingestStatus(err); st != 400 && st != 413 && st != 422 {
 				t.Fatalf("rejection mapped to status %d (err %v)", st, err)

@@ -66,6 +66,16 @@ type metrics struct {
 	breakerTransitions   *obs.CounterVec // breaker transitions by target state
 	breakerState         *obs.Gauge      // 0=closed, 1=open, 2=half-open
 	breakerShortCircuits *obs.Counter    // requests routed past the CNN without trying it
+
+	// Shadow-deployment instruments (see shadow.go).
+	shadowLoaded   *obs.Gauge     // 1 while a shadow model is installed
+	shadowLoads    *obs.Counter   // accepted shadow loads
+	shadowRejects  *obs.Counter   // rejected shadow artifacts (checksum/probe)
+	shadowRequests *obs.Counter   // predictions mirrored through the shadow
+	shadowAgree    *obs.Counter   // mirrored predictions agreeing with live
+	shadowDisagree *obs.Counter   // mirrored predictions disagreeing with live
+	shadowErrors   *obs.Counter   // shadow forward passes that failed
+	shadowSeconds  *obs.Histogram // shadow forward latency
 }
 
 // newMetrics registers the serving instrument set on a fresh registry.
@@ -101,6 +111,15 @@ func newMetrics() *metrics {
 	m.batchJobs = r.Counter("serve_batch_jobs_total", "Prediction jobs processed through batches.")
 	m.batchSize = r.Histogram("serve_batch_size", "Jobs coalesced per micro-batch.", obs.DefBatchBuckets())
 	m.queueRejects = r.Counter("serve_queue_rejects_total", "Requests rejected because the batch queue was full.")
+
+	m.shadowLoaded = r.Gauge("serve_shadow_loaded", "1 while a shadow model is installed for mirrored inference.")
+	m.shadowLoads = r.Counter("serve_shadow_loads_total", "Shadow models accepted (checksummed load + probe passed).")
+	m.shadowRejects = r.Counter("serve_shadow_rejects_total", "Shadow artifacts rejected by the checksummed loader or probe.")
+	m.shadowRequests = r.Counter("serve_shadow_requests_total", "Predictions mirrored through the shadow model.")
+	m.shadowAgree = r.Counter("serve_shadow_agree_total", "Mirrored predictions whose shadow format matched the live answer.")
+	m.shadowDisagree = r.Counter("serve_shadow_disagree_total", "Mirrored predictions whose shadow format differed from the live answer.")
+	m.shadowErrors = r.Counter("serve_shadow_errors_total", "Shadow forward passes that failed or timed out.")
+	m.shadowSeconds = r.Histogram("serve_shadow_seconds", "Shadow model forward latency.", obs.DefLatencyBuckets())
 
 	m.reloads = r.Counter("serve_model_reloads_total", "Successful model hot reloads.")
 	m.reloadFails = r.Counter("serve_model_reload_failures_total", "Rejected model reloads (validation failed; old model kept).")

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/dtree"
+	"repro/internal/feedback"
 	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/selector"
@@ -100,6 +101,25 @@ type Config struct {
 	// timeout or error falls open to local compute inside the request's
 	// own budget.
 	PeerFillTimeout time.Duration
+	// FeedbackDir, when non-empty, enables feedback capture: every
+	// answered prediction is appended to a crash-safe JSONL log in this
+	// directory (see internal/feedback), off the request path. The
+	// feedback_* metric series appear on /metrics when enabled.
+	FeedbackDir string
+	// FeedbackMaxSegmentBytes / FeedbackMaxSegmentAge tune feedback
+	// segment rotation (0 = the feedback package defaults).
+	FeedbackMaxSegmentBytes int64
+	FeedbackMaxSegmentAge   time.Duration
+	// FeedbackMaxPatternNNZ caps which matrices embed their COO pattern
+	// in feedback entries (0 = default; negative disables patterns).
+	FeedbackMaxPatternNNZ int
+	// FeedbackEstimates replays an SpMV through the cache simulator for
+	// entries without a client-reported timing.
+	FeedbackEstimates bool
+	// ShadowSampleN mirrors every N-th prediction through the loaded
+	// shadow model (see shadow.go); 0 disables mirroring, 1 mirrors
+	// everything.
+	ShadowSampleN int
 	// Log receives operational lines (nil = silent).
 	Log io.Writer
 }
@@ -184,6 +204,12 @@ type Server struct {
 	reloadMu  sync.Mutex
 	lastStamp modelStamp
 
+	// Feedback capture (nil when Config.FeedbackDir is empty) and the
+	// shadow-deployment slot (see shadow.go).
+	fb        *feedback.Logger
+	shadow    atomic.Pointer[shadowState]
+	shadowSeq atomic.Uint64
+
 	// testHookPreBatch, when set, runs in the worker before a batch is
 	// predicted — tests use it to hold requests in flight.
 	testHookPreBatch func()
@@ -239,9 +265,46 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		s.dtree = dtree.Heuristic(s.model.Load().Cfg.Formats)
 	}
+	// Feedback capture: the logger registers its feedback_* instruments
+	// on the server's own registry so they ride the same /metrics
+	// exposition. A feedback setup failure fails the deploy like any
+	// other bad configuration.
+	if cfg.FeedbackDir != "" {
+		fb, err := feedback.NewLogger(feedback.LoggerConfig{
+			Dir:             cfg.FeedbackDir,
+			MaxSegmentBytes: cfg.FeedbackMaxSegmentBytes,
+			MaxSegmentAge:   cfg.FeedbackMaxSegmentAge,
+			MaxPatternNNZ:   cfg.FeedbackMaxPatternNNZ,
+			EstimateTimings: cfg.FeedbackEstimates,
+			Registry:        s.met.reg,
+			Log:             cfg.Log,
+		})
+		if err != nil {
+			s.pool.Close()
+			return nil, fmt.Errorf("serve: feedback log: %w", err)
+		}
+		s.fb = fb
+	}
 	s.dispWG.Add(1)
 	go s.dispatch()
 	return s, nil
+}
+
+// recordFeedback captures one answered prediction into the feedback
+// log (no-op when capture is disabled). Never blocks.
+func (s *Server) recordFeedback(m *sparse.COO, fp uint64, pred selector.Prediction, rung string, gen uint64, cacheHit bool, clientSec float64) {
+	if s.fb == nil {
+		return
+	}
+	s.fb.Record(m, feedback.Entry{
+		Fingerprint: fp,
+		Format:      pred.Format.String(),
+		Rung:        rung,
+		FellBack:    pred.FellBack,
+		CacheHit:    cacheHit,
+		ModelGen:    gen,
+		ClientSec:   clientSec,
+	})
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -341,6 +404,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.logf("serve: drain deadline exceeded; abandoning in-flight work")
 		}
 
+		// Seal the feedback log last so every drained answer's entry is
+		// rotated into a collector-visible segment.
+		if s.fb != nil {
+			if e := s.fb.Close(); e != nil {
+				s.logf("serve: feedback log close: %v", e)
+			}
+		}
+
 		if s.cfg.Log != nil {
 			s.logf("serve: final metrics")
 			s.met.WriteTo(s.cfg.Log)
@@ -365,6 +436,7 @@ func (s *Server) predictOne(ctx context.Context, m *sparse.COO, meta *predictMet
 		s.met.cacheHits.Inc()
 		tr.ObserveSpan("cache", cacheStart)
 		meta.cacheStatus = "hit"
+		s.recordFeedback(m, fp, pred, rungCNN, gen, true, meta.clientSec)
 		// Only CNN-rung answers are ever cached, so a hit reports the
 		// cnn rung.
 		return makeResponse(pred, gen, true, rungCNN), nil
@@ -422,7 +494,7 @@ func (s *Server) predictOne(ctx context.Context, m *sparse.COO, meta *predictMet
 			jctx = base
 		}
 	}
-	j := &job{ctx: jctx, cancel: jcancel, m: m, fp: fp, tr: tr, enqueued: time.Now(), call: c}
+	j := &job{ctx: jctx, cancel: jcancel, m: m, fp: fp, tr: tr, enqueued: time.Now(), call: c, clientSec: meta.clientSec}
 	select {
 	case s.jobs <- j:
 	default:
@@ -458,15 +530,3 @@ func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // Traces returns the server's ring buffer of recent request traces.
 func (s *Server) Traces() *obs.TraceLog { return s.traces }
-
-// AdminHandler returns the introspection surface for a separate admin
-// listener: /metrics, /debug/traces and /debug/pprof. It is never
-// mounted on the traffic handler — pprof on a public port is an
-// information leak and a DoS lever.
-func (s *Server) AdminHandler() http.Handler {
-	return obs.AdminHandler(obs.AdminConfig{
-		Registry: s.met.reg,
-		Traces:   s.traces,
-		PProf:    true,
-	})
-}

@@ -38,6 +38,17 @@ else
     go run ./scripts/clusterdrill
 fi
 
+# Continual-learning drill: serve + shepherd on real binaries, shifted
+# traffic must trip the drift detector, a top-evolvement retrain must
+# shadow and promote through the probe-validated hot reload, and a
+# fault-injected corrupt candidate must be rejected while the live
+# model keeps serving. See scripts/shepherddrill.
+if [[ "${SHORT:-0}" == "1" ]]; then
+    go run ./scripts/shepherddrill -short
+else
+    go run ./scripts/shepherddrill
+fi
+
 # Fuzz smoke: a short native-fuzzing budget per hardened ingestion
 # surface. A clean run means no panic and no typed-error-taxonomy
 # violation found within the budget; regressions crash the script.

@@ -7,10 +7,13 @@
 //  3. waits for readiness, POSTs a matrix as JSON and as Matrix
 //     Market, and checks a valid format comes back,
 //  4. checks the repeated request is answered from the cache and that
-//     the hit is visible in /metrics, and that the -admin-addr listener
-//     serves /metrics, /debug/pprof/ and /debug/traces,
+//     the hit is visible in /metrics, that the -admin-addr listener
+//     serves /metrics, /debug/pprof/ and /debug/traces, and that
+//     -feedback-dir makes every prediction append to the crash-safe
+//     feedback log, visible as feedback_* series in /metrics,
 //  5. overwrites the model file and waits for the hot-reload
-//     generation bump,
+//     generation bump, then SIGHUPs the server and requires the
+//     operator-driven reload to bump the generation again,
 //  6. runs cmd/predict in -server client mode against the live server,
 //  7. checks cmd/predict -fallback exits non-zero when the model fails
 //     to load while still printing the CSR baseline,
@@ -94,8 +97,9 @@ func run() error {
 	}
 
 	step("starting server")
+	feedbackDir := filepath.Join(dir, "feedback")
 	srv := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
-		"-model", model, "-watch", "100ms", "-cache", "64")
+		"-model", model, "-watch", "100ms", "-cache", "64", "-feedback-dir", feedbackDir)
 	srv.Stderr = os.Stderr
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
@@ -170,6 +174,29 @@ func run() error {
 		return fmt.Errorf("admin /debug/traces has no recorded traces: %v\n%s", err, page)
 	}
 
+	// 4c. Feedback capture: the predictions above (including the cache
+	// hit) must have been appended to the feedback log, and the logger's
+	// series must be visible in /metrics.
+	step("checking feedback capture metrics")
+	if err := waitFor(10*time.Second, func() (bool, error) {
+		page, err := get(base + "/metrics")
+		if err != nil {
+			return false, nil
+		}
+		return regexp.MustCompile(`(?m)^feedback_entries_total [1-9]`).MatchString(page), nil
+	}); err != nil {
+		return fmt.Errorf("feedback_entries_total never counted the predictions: %w", err)
+	}
+	page, err = get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"feedback_entries_total", "feedback_active_bytes", "feedback_dropped_total"} {
+		if !strings.Contains(page, want) {
+			return fmt.Errorf("/metrics missing feedback series %s", want)
+		}
+	}
+
 	// 5. Hot reload: overwrite the model file, watch the generation.
 	step("checking hot reload")
 	if err := res.Selector.SaveFile(model); err != nil {
@@ -183,6 +210,22 @@ func run() error {
 		return strings.Contains(page, "serve_model_generation 2"), nil
 	}); err != nil {
 		return fmt.Errorf("model overwrite was never hot-reloaded: %w", err)
+	}
+
+	// 5b. Operator-driven reload: SIGHUP must force a reload of the
+	// (unchanged) artifact and bump the generation counter again.
+	step("checking SIGHUP hot reload")
+	if err := srv.Process.Signal(syscall.SIGHUP); err != nil {
+		return err
+	}
+	if err := waitFor(10*time.Second, func() (bool, error) {
+		page, err := get(base + "/metrics")
+		if err != nil {
+			return false, nil
+		}
+		return strings.Contains(page, "serve_model_generation 3"), nil
+	}); err != nil {
+		return fmt.Errorf("SIGHUP never bumped the model generation: %w", err)
 	}
 
 	// 6. Thin-client mode against the live server.
