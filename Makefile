@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check smoke gendrill clusterdrill shepherddrill fuzz bench
+.PHONY: build test check smoke gendrill corpusdrill clusterdrill shepherddrill fuzz bench
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ smoke:
 gendrill:
 	$(GO) run ./scripts/gendrill
 
+# corpusdrill runs only the streamed-corpus crash drill: SIGKILL a bulk
+# MatrixMarket ingest mid-flight, resume it to a byte-identical store,
+# then corrupt shards and require training and the held-out evaluation
+# to complete on salvage (quarantine + salvage.json) instead of
+# aborting.
+corpusdrill:
+	$(GO) run ./scripts/corpusdrill
+
 # clusterdrill runs only the cluster chaos drill: boot a router in
 # front of three serve replicas, replay heavy-tailed load, SIGKILL the
 # shard-owning replica mid-run, and require >= 99% success plus router
@@ -51,6 +59,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadMatrixMarket$$' -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzPredictJSON$$' -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadDataset$$' -fuzztime=$(FUZZTIME) ./internal/dataset
+	$(GO) test -run='^$$' -fuzz='^FuzzSalvageShard$$' -fuzztime=$(FUZZTIME) ./internal/dataset
 
 # bench runs every benchmark in the module (the per-paper-table harness
 # at the root plus the per-package hot-path benchmarks) and converts
@@ -61,8 +70,8 @@ fuzz:
 # fastest run per benchmark, and min-of-N is what makes a 25% gate
 # threshold hold on noisy shared runners.
 BENCHTIME ?= 200ms
-GUARDED_PKGS = ./internal/spmv ./internal/tensor ./internal/represent ./internal/serve
-GUARDED_BENCH = 'KernelMul|MatMul|Normalize|Predict'
+GUARDED_PKGS = ./internal/spmv ./internal/tensor ./internal/represent ./internal/serve ./internal/dataset
+GUARDED_BENCH = 'KernelMul|MatMul|Normalize|Predict|ShardIter'
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run=^$$ ./... > BENCH.txt || { cat BENCH.txt; exit 1; }
 	$(GO) test -bench=$(GUARDED_BENCH) -benchtime=$(BENCHTIME) -count=3 -run=^$$ $(GUARDED_PKGS) >> BENCH.txt || { cat BENCH.txt; exit 1; }

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: platforms,table2,table3,fig8,fig9,fig10,fig11,speedups,overhead,sensitivity,labelmodes,all")
+	run := flag.String("run", "all", "comma-separated experiments: platforms,table2,table3,fig8,fig9,fig10,fig11,speedups,overhead,sensitivity,labelmodes,heldout,all")
 	quick := flag.Bool("quick", false, "use the quick (test-scale) options")
 	count := flag.Int("count", 0, "override dataset size")
 	maxN := flag.Int("maxn", 0, "override matrix dimension bound")
@@ -33,7 +33,10 @@ func main() {
 	repBins := flag.Int("repbins", 0, "override histogram bins")
 	seed := flag.Int64("seed", 0, "override seed")
 	wallclock := flag.Bool("wallclock", false, "label the CPU corpus with real kernel timings (table2/fig8)")
-	dataIn := flag.String("dataset", "", "reuse this pre-labeled xeonlike corpus (a gendata artifact) for the CPU experiments instead of generating one")
+	dataIn := flag.String("dataset", "", "reuse this pre-labeled xeonlike corpus (a gendata .bin file or a sharded store directory) for the CPU experiments instead of generating one")
+	model := flag.String("model", "", "trained selector artifact for -run heldout")
+	reportPath := flag.String("report", "", "write the heldout JSON report here (default stdout)")
+	platform := flag.String("platform", "xeonlike", "platform for -run heldout")
 	flag.Parse()
 
 	o := experiments.Default()
@@ -62,12 +65,50 @@ func main() {
 		o.Seed = *seed
 	}
 	o.WallClock = *wallclock
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+
+	if want["heldout"] { // not in "all": needs -dataset (a store) and -model
+		if *dataIn == "" || *model == "" {
+			fmt.Fprintln(os.Stderr, "experiments: -run heldout requires -dataset (a corpus store directory) and -model")
+			os.Exit(2)
+		}
+		rep, err := experiments.RunHeldout(experiments.HeldoutOptions{
+			StorePath: *dataIn, ModelPath: *model, Platform: *platform, Seed: o.Seed,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		out := os.Stdout
+		if *reportPath != "" {
+			f, err := os.Create(*reportPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *reportPath != "" {
+			fmt.Printf("heldout report written to %s\n", *reportPath)
+		}
+		return
+	}
+
 	if *dataIn != "" {
-		// The CPU experiments reuse one pre-labeled corpus; the typed
-		// load errors distinguish damage (regenerate) from platform
+		// The CPU experiments reuse one pre-labeled corpus — either a
+		// monolithic gendata artifact or a sharded store directory; the
+		// typed load errors distinguish damage (regenerate) from platform
 		// mismatch (wrong artifact) from semantic breakage (bug).
 		lab := machine.NewLabeler(machine.XeonLike(), o.Seed)
-		d, err := dataset.LoadValidated(*dataIn, lab)
+		d, err := dataset.LoadValidatedAny(*dataIn, lab)
 		switch {
 		case errors.Is(err, dataset.ErrCorrupt):
 			fmt.Fprintf(os.Stderr, "experiments: %s is corrupt or truncated (%v); regenerate it with gendata\n", *dataIn, err)
@@ -89,10 +130,6 @@ func main() {
 		}
 	}
 
-	want := map[string]bool{}
-	for _, name := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(strings.ToLower(name))] = true
-	}
 	all := want["all"]
 	ran := 0
 	fail := func(err error) {

@@ -22,6 +22,21 @@
 // records labeled, quarantined, labels/sec) plus pprof while the build
 // runs, and a one-line JSON build report is appended to
 // <journal>/report.jsonl on completion.
+//
+// Bulk ingestion mode walks a directory tree of MatrixMarket files (a
+// SuiteSparse mirror) into a sharded corpus store instead of
+// generating synthetic matrices:
+//
+//	gendata -import-dir suitesparse/ -store corpus.store          # killed...
+//	gendata -import-dir suitesparse/ -store corpus.store -resume  # byte-identical
+//
+// Every file goes through the resource-governed reader (-import-max-*
+// caps); malformed, oversized or panicking files are quarantined in
+// the store, never fatal. Progress is journaled at each shard, dupes
+// are skipped via the store's fingerprint index, and a full disk
+// aborts cleanly at a shard boundary for later -resume. With -store
+// and no -import-dir, the generated synthetic corpus is written as a
+// sharded store instead of a monolithic -out file.
 package main
 
 import (
@@ -40,6 +55,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -58,14 +74,23 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 16, "abort after this many consecutive per-matrix failures (negative disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live build metrics and pprof on this address while the build runs (empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-shard progress lines")
+	importDir := flag.String("import-dir", "", "ingest every .mtx under this directory into -store instead of generating matrices")
+	storeDir := flag.String("store", "", "sharded corpus store directory to write (required with -import-dir)")
+	importMaxRows := flag.Int("import-max-rows", 0, "per-file row cap for -import-dir (0 = service default)")
+	importMaxCols := flag.Int("import-max-cols", 0, "per-file column cap for -import-dir (0 = service default)")
+	importMaxNNZ := flag.Int("import-max-nnz", 0, "per-file nonzero cap for -import-dir (0 = service default)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "gendata:", err)
 		os.Exit(1)
 	}
-	if *resume && *journal == "" {
-		fmt.Fprintln(os.Stderr, "gendata: -resume requires -journal")
+	if *resume && *journal == "" && *importDir == "" {
+		fmt.Fprintln(os.Stderr, "gendata: -resume requires -journal (or -import-dir)")
+		os.Exit(2)
+	}
+	if *importDir != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "gendata: -import-dir requires -store")
 		os.Exit(2)
 	}
 	// Fire-drill hook, mirroring cmd/serve's SERVE_FAULT_INJECT: arm
@@ -90,6 +115,45 @@ func main() {
 	// journaled shards survive for -resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *importDir != "" {
+		lim := sparse.DefaultLimits()
+		if *importMaxRows > 0 {
+			lim.MaxRows = *importMaxRows
+		}
+		if *importMaxCols > 0 {
+			lim.MaxCols = *importMaxCols
+		}
+		if *importMaxNNZ > 0 {
+			lim.MaxNNZ = *importMaxNNZ
+		}
+		opts := dataset.IngestOptions{
+			ShardSize:         *shardSize,
+			Limits:            lim,
+			FileTimeout:       *matrixTimeout,
+			MaxQuarantineFrac: *maxQuarantine,
+			Resume:            *resume,
+		}
+		if !*quiet {
+			opts.Logf = func(format string, args ...any) {
+				fmt.Printf("gendata: "+format+"\n", args...)
+			}
+		}
+		report, err := dataset.IngestDir(ctx, *importDir, *storeDir, lab, opts)
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintf(os.Stderr, "gendata: interrupted; store journal preserved in %s (rerun with -resume to continue)\n", *storeDir)
+			os.Exit(130)
+		case errors.Is(err, dataset.ErrNoSpace):
+			fmt.Fprintf(os.Stderr, "gendata: %v\nstore left consistent at the last published shard; free space and rerun with -resume\n", err)
+			os.Exit(1)
+		case err != nil:
+			fail(err)
+		}
+		fmt.Printf("ingested %d records into %s (%d shards, %d dupes skipped, %d files quarantined)\n",
+			report.Records, *storeDir, report.Shards, report.Dupes, len(report.Quarantined))
+		return
+	}
 
 	cfg := dataset.Config{
 		Count: *count, Seed: *seed, MaxN: *maxN, Workers: *workers,
@@ -155,6 +219,14 @@ func main() {
 			where = fmt.Sprintf("see %s/quarantine.jsonl", *journal)
 		}
 		fmt.Printf("quarantined %d matrices; %s\n", report.Quarantined, where)
+	}
+	if *storeDir != "" {
+		s, err := dataset.WriteStore(*storeDir, d, *shardSize)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("dataset stored to %s (%d shards, %d dupes skipped)\n", *storeDir, s.NumShards(), s.Dupes())
+		return
 	}
 	if err := d.Save(*out); err != nil {
 		fail(err)

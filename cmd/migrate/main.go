@@ -87,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var d *dataset.Dataset
 	if *dataIn != "" {
 		fmt.Fprintf(stdout, "loading target-platform corpus from %s\n", *dataIn)
-		d, err = dataset.LoadValidated(*dataIn, lab)
+		d, err = dataset.LoadValidatedAny(*dataIn, lab)
 		switch {
 		case errors.Is(err, dataset.ErrCorrupt):
 			return fail(fmt.Errorf("%s is corrupt or truncated (%v); regenerate it with gendata", *dataIn, err))

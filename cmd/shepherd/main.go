@@ -104,7 +104,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	// The drift baseline: the corpus the live model was trained on,
 	// validated against the same platform cost model used for folding,
 	// so online labels and the reference profile are consistent.
-	train, err := dataset.LoadValidated(*trainDataset, lab)
+	train, err := dataset.LoadValidatedAny(*trainDataset, lab)
 	if err != nil {
 		fmt.Fprintln(stderr, "shepherd: train dataset:", err)
 		return 1

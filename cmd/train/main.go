@@ -38,9 +38,11 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dtree"
 	"repro/internal/features"
+	"repro/internal/machine"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/represent"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -165,13 +167,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
-	fmt.Println(res.Metrics)
+	if res.Metrics != nil {
+		fmt.Println(res.Metrics)
+	}
 	if err := res.Selector.SaveFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("model saved to %s\n", *out)
 	if *dataOut != "" {
+		if res.Dataset == nil {
+			fmt.Fprintf(os.Stderr, "train: -dataset is not applicable when training from store %s (the store is already persistent)\n", *dataIn)
+			os.Exit(1)
+		}
 		if err := res.Dataset.Save(*dataOut); err != nil {
 			fmt.Fprintln(os.Stderr, "train:", err)
 			os.Exit(1)
@@ -180,16 +188,30 @@ func main() {
 	}
 	if *dtreeOut != "" {
 		// The serving ladder's middle rung: the SMAT-style tree fitted on
-		// the same training split, packaged as a checksummed artifact.
-		d := res.Dataset
-		var X [][]float64
-		var y []int
-		for _, i := range res.Train {
-			r := d.Records[i]
-			X = append(X, features.BaselineFromStats(r.Stats))
-			y = append(y, d.ClassIndex(r.Label))
+		// the same corpus, packaged as a checksummed artifact. On the
+		// in-memory path it uses the training split; on the store path it
+		// streams features shard by shard (features are scalar vectors, so
+		// the whole feature table fits even when the matrices would not).
+		var (
+			X       [][]float64
+			y       []int
+			formats []sparse.Format
+		)
+		if d := res.Dataset; d != nil {
+			formats = d.Formats
+			for _, i := range res.Train {
+				r := d.Records[i]
+				X = append(X, features.BaselineFromStats(r.Stats))
+				y = append(y, d.ClassIndex(r.Label))
+			}
+		} else {
+			X, y, formats, err = streamDtreeFeatures(*dataIn, *platform, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "train: dtree:", err)
+				os.Exit(1)
+			}
 		}
-		dt, err := dtree.FitBaseline(X, y, d.Formats, dtree.DefaultConfig())
+		dt, err := dtree.FitBaseline(X, y, formats, dtree.DefaultConfig())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "train: dtree:", err)
 			os.Exit(1)
@@ -200,4 +222,34 @@ func main() {
 		}
 		fmt.Printf("decision-tree baseline saved to %s\n", *dtreeOut)
 	}
+}
+
+// streamDtreeFeatures extracts the baseline feature table from a
+// corpus store one shard at a time, over the same training shards the
+// CNN saw (held-out shards are excluded so both models share a split).
+func streamDtreeFeatures(storePath, platform string, seed int64) ([][]float64, []int, []sparse.Format, error) {
+	p, err := machine.PlatformByName(platform)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	store, _, err := dataset.OpenValidatedStore(storePath, machine.NewLabeler(p, seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trainShards, _ := core.SplitShards(store.NumShards(), 0.2, seed+7)
+	var (
+		X [][]float64
+		y []int
+	)
+	for _, si := range trainShards {
+		d, err := store.Shard(si)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, r := range d.Records {
+			X = append(X, features.BaselineFromStats(r.Stats))
+			y = append(y, d.ClassIndex(r.Label))
+		}
+	}
+	return X, y, store.Formats(), nil
 }

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/machine"
@@ -138,6 +140,9 @@ func TrainCtx(ctx context.Context, o Options) (*Result, error) {
 		return nil, err
 	}
 	lab := machine.NewLabeler(p, o.Seed)
+	if o.DatasetPath != "" && dataset.IsStoreDir(o.DatasetPath) {
+		return trainStoreCtx(ctx, o, lab)
+	}
 	var d *dataset.Dataset
 	if o.DatasetPath != "" {
 		o.logf("step 1: loading pre-labeled corpus from %s", o.DatasetPath)
@@ -239,6 +244,134 @@ func TrainCtx(ctx context.Context, o Options) (*Result, error) {
 	partial.Metrics = m
 	return partial, nil
 }
+
+// trainStoreCtx is TrainCtx for a sharded corpus store: training
+// streams one shard at a time (peak memory is bounded by shard size,
+// not corpus size), and evaluation runs over held-out shards that the
+// training stream never sees. Result.Dataset is nil on this path —
+// the corpus was never materialised.
+func trainStoreCtx(ctx context.Context, o Options, lab *machine.Labeler) (*Result, error) {
+	o.logf("step 1: opening sharded corpus store %s", o.DatasetPath)
+	store, report, err := dataset.OpenValidatedStore(o.DatasetPath, lab)
+	if err != nil {
+		return nil, err
+	}
+	if report != nil {
+		o.logf("        store needed salvage: %d shard(s) repaired, %d record(s) dropped (see %s/salvage.json)",
+			len(report.Shards), len(report.DroppedRecords), o.DatasetPath)
+	}
+	o.logf("        %d records in %d shards (%d duplicate appends skipped)",
+		store.NumRecords(), store.NumShards(), store.Dupes())
+
+	var (
+		s      *selector.Selector
+		resume *nn.Checkpoint
+	)
+	if o.Resume && o.CheckpointDir != "" {
+		s, resume, err = selector.LoadCheckpoint(o.CheckpointDir)
+		switch {
+		case err == nil:
+			o.logf("resuming from %s at epoch %d (loss %.3f)", o.CheckpointDir, resume.Epoch, resume.Loss)
+			s.Cfg.Epochs = o.Epochs
+			s.Cfg.Workers = o.Workers
+		case errors.Is(err, nn.ErrNoCheckpoint):
+			o.logf("no checkpoint in %s; starting fresh", o.CheckpointDir)
+		default:
+			return nil, fmt.Errorf("core: resuming from %s: %w", o.CheckpointDir, err)
+		}
+	}
+	if s == nil {
+		cfg := selector.DefaultConfig(o.Representation, store.Formats())
+		cfg.Represent.Size = o.RepSize
+		cfg.Represent.Bins = o.RepBins
+		cfg.Epochs = o.Epochs
+		cfg.Workers = o.Workers
+		cfg.Seed = o.Seed
+		o.logf("step 2+3: %s representation (%dx%d), late-merging CNN", cfg.Represent.Kind, o.RepSize, o.RepBins)
+		s, err = selector.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var cp *nn.Checkpointer
+	if o.CheckpointDir != "" {
+		cp, err = nn.NewCheckpointer(o.CheckpointDir, o.CheckpointEvery, 3)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if o.EpochHook != nil {
+		s.SetEpochHook(o.EpochHook)
+	}
+
+	trainShards, testShards := SplitShards(store.NumShards(), o.TestFraction, o.Seed+7)
+	o.logf("step 4: streaming %d shards for training, %d held out (%d epochs)",
+		len(trainShards), len(testShards), o.Epochs)
+	losses, err := s.TrainStreamCtx(ctx, &ShardSubset{Store: store, Idx: trainShards}, cp, resume)
+	partial := &Result{Selector: s}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cp != nil {
+				o.logf("training interrupted after %d epochs this run; checkpoint flushed to %s", len(losses), o.CheckpointDir)
+			} else {
+				o.logf("training interrupted after %d epochs this run", len(losses))
+			}
+			return partial, err
+		}
+		return nil, err
+	}
+	if len(losses) > 0 {
+		o.logf("        loss %.3f -> %.3f", losses[0], losses[len(losses)-1])
+	}
+	if len(testShards) == 0 {
+		o.logf("store has a single shard; no held-out shard to evaluate")
+		return partial, nil
+	}
+	m, err := s.EvaluateStream(&ShardSubset{Store: store, Idx: testShards})
+	if err != nil {
+		return nil, err
+	}
+	o.logf("held-out accuracy: %.1f%%", m.Accuracy()*100)
+	partial.Metrics = m
+	return partial, nil
+}
+
+// SplitShards partitions shard positions into train and held-out sets
+// with a seeded shuffle — the shard-granular analogue of
+// Dataset.Split. A single-shard store yields no held-out set.
+func SplitShards(n int, testFraction float64, seed int64) (train, test []int) {
+	if n <= 0 {
+		return nil, nil
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	nTest := int(float64(n)*testFraction + 0.5)
+	if nTest >= n {
+		nTest = n - 1
+	}
+	if nTest == 0 && n > 1 && testFraction > 0 {
+		nTest = 1
+	}
+	test = append([]int(nil), perm[:nTest]...)
+	train = append([]int(nil), perm[nTest:]...)
+	sort.Ints(train)
+	sort.Ints(test)
+	return train, test
+}
+
+// ShardSubset restricts a corpus store to a subset of its shard
+// positions — the held-out-split view used by streaming training and
+// evaluation. It satisfies selector.ShardStream.
+type ShardSubset struct {
+	Store *dataset.CorpusStore
+	Idx   []int
+}
+
+// NumShards implements selector.ShardStream.
+func (v *ShardSubset) NumShards() int { return len(v.Idx) }
+
+// Shard implements selector.ShardStream.
+func (v *ShardSubset) Shard(i int) (*dataset.Dataset, error) { return v.Store.Shard(v.Idx[i]) }
 
 // relabelWallClock replaces each record's label and times with wall-
 // clock measurements of the Go kernels, honouring cancellation between

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+)
+
+func TestSplitShards(t *testing.T) {
+	train, test := SplitShards(10, 0.2, 1)
+	if len(train) != 8 || len(test) != 2 {
+		t.Fatalf("split 10 at 0.2 → %d/%d, want 8/2", len(train), len(test))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int(nil), train...), test...) {
+		if seen[i] || i < 0 || i >= 10 {
+			t.Fatalf("shard %d duplicated or out of range", i)
+		}
+		seen[i] = true
+	}
+	// Deterministic under the same seed, different under another.
+	train2, _ := SplitShards(10, 0.2, 1)
+	for i := range train {
+		if train[i] != train2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	// Never hold out everything; never hold out nothing (when n > 1).
+	tr, te := SplitShards(2, 0.9, 3)
+	if len(tr) == 0 || len(te) == 0 {
+		t.Fatalf("degenerate split %d/%d", len(tr), len(te))
+	}
+	tr, te = SplitShards(1, 0.5, 3)
+	if len(tr) != 1 || len(te) != 0 {
+		t.Fatalf("single shard must stay in training: %d/%d", len(tr), len(te))
+	}
+}
+
+// The full pipeline over a store directory: shard-streamed training
+// with shard-level held-out evaluation, never materialising the corpus.
+func TestTrainFromStoreDir(t *testing.T) {
+	lab := machine.NewLabeler(machine.XeonLike(), 2)
+	d := dataset.Generate(dataset.Config{Count: 60, Seed: 7, MaxN: 256}, lab)
+	dir := t.TempDir()
+	if _, err := dataset.WriteStore(dir, d, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	o := tinyOptions()
+	o.Epochs = 4
+	o.DatasetPath = dir
+	o.Log = &log
+	res, err := Train(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selector == nil {
+		t.Fatal("no selector")
+	}
+	if res.Dataset != nil {
+		t.Fatal("store path materialised the whole corpus into the result")
+	}
+	if res.Metrics == nil || res.Metrics.Total() == 0 {
+		t.Fatalf("no held-out metrics: %+v", res.Metrics)
+	}
+	// 60 records at shard size 8 → 8 shards, 0.2 holds out 2 (16 or
+	// fewer records, the last shard is short).
+	if res.Metrics.Total() > 16 {
+		t.Fatalf("held-out evaluation saw %d records, more than two shards", res.Metrics.Total())
+	}
+	if !strings.Contains(log.String(), "sharded corpus store") {
+		t.Fatalf("store path not taken:\n%s", log.String())
+	}
+}
+
+// A wrong-platform store must be refused with the typed mismatch error,
+// exactly like the monolithic artifact path.
+func TestTrainFromStoreDirMismatch(t *testing.T) {
+	lab := machine.NewLabeler(machine.XeonLike(), 2)
+	d := dataset.Generate(dataset.Config{Count: 20, Seed: 7, MaxN: 128}, lab)
+	dir := t.TempDir()
+	if _, err := dataset.WriteStore(dir, d, 8); err != nil {
+		t.Fatal(err)
+	}
+	o := tinyOptions()
+	o.Platform = "titanlike"
+	o.DatasetPath = dir
+	_, err := Train(o)
+	if err == nil {
+		t.Fatal("GPU pipeline accepted a CPU-labeled store")
+	}
+	if !errors.Is(err, dataset.ErrMismatch) {
+		t.Fatalf("untyped mismatch error: %v", err)
+	}
+}

@@ -31,16 +31,32 @@ type Record struct {
 	Stats sparse.Stats
 	Label sparse.Format
 	Times map[sparse.Format]float64
+
+	// mat, when non-nil, is the record's matrix held directly in
+	// memory. Shard-at-a-time store iteration uses it for imported
+	// patterns so a streamed shard's matrices are released with the
+	// shard instead of accumulating in the process-global imported
+	// registry. Unexported, so gob-journaled records never carry it.
+	mat *sparse.COO
 }
 
-// Matrix regenerates the record's matrix (or fetches it from the
+// Matrix regenerates the record's matrix (or returns the in-memory
+// copy for store-streamed pattern records, or fetches it from the
 // imported-matrix registry for records created by ImportMatrixMarket).
 func (r *Record) Matrix() *sparse.COO {
+	if r.mat != nil {
+		return r.mat
+	}
 	if m, ok := importedMatrix(r.Spec); ok {
 		return m
 	}
 	return synthgen.Build(r.Spec)
 }
+
+// SetMatrix attaches an in-memory matrix to the record, overriding
+// spec regeneration and registry lookup in Matrix. The attachment is
+// process-local and never serialised.
+func (r *Record) SetMatrix(m *sparse.COO) { r.mat = m }
 
 // Dataset is a labelled corpus tied to one platform's format set.
 type Dataset struct {

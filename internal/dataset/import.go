@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -48,7 +49,11 @@ func ImportMatrixMarket(dir string, lab *machine.Labeler) (*Dataset, []error, er
 	}
 	var skipped []error
 	for _, path := range paths {
-		m, err := sparse.ReadMatrixMarketFile(path)
+		// Imported archives are untrusted input: read through the
+		// resource-governed reader so one pathological file costs a skip
+		// entry, not an unbounded allocation (see readMatrixFileLimits
+		// for the panic containment the bulk ingester shares).
+		m, err := readMatrixFileLimits(context.Background(), path, sparse.DefaultLimits(), 0)
 		if err != nil {
 			skipped = append(skipped, fmt.Errorf("dataset: skipping %s: %w", path, err))
 			continue

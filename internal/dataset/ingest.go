@@ -1,0 +1,481 @@
+package dataset
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+// Bulk ingestion: walk a directory tree of MatrixMarket files (a
+// SuiteSparse mirror, an extracted archive set), read each through the
+// resource-governed ReadMatrixMarketLimits reader, label it, and
+// append it to a corpus store. The walk is resumable: progress is
+// journaled at every shard publication, so a SIGKILL (or an ENOSPC
+// abort) loses at most one shard's worth of labelling work, and a
+// resumed run converges on a store byte-identical to an uninterrupted
+// one. A file that is malformed, oversized, non-finite, panics the
+// reader, or exceeds the per-file deadline is quarantined — logged
+// and skipped — never allowed to abort a multi-day ingestion.
+
+// ingestJournalFile is the progress journal inside the store
+// directory. It is written atomically after every shard publication
+// and records, per shard, how many source files had been fully
+// consumed when that shard landed — the rewind points for resume.
+const ingestJournalFile = "ingest-progress.json"
+
+// ingestLogFile collects quarantined source files under quarantine/.
+const ingestLogFile = "ingest-quarantine.jsonl"
+
+const ingestJournalVersion = 1
+
+// IngestOptions configures one bulk ingestion.
+type IngestOptions struct {
+	// ShardSize is the store shard granularity in records (default 256).
+	ShardSize int
+	// Limits is the per-file resource budget; the zero value means
+	// sparse.DefaultLimits (service-grade caps), not unlimited — bulk
+	// ingestion reads untrusted archives.
+	Limits sparse.Limits
+	// FileTimeout bounds reading one file; 0 means no deadline.
+	FileTimeout time.Duration
+	// MaxQuarantineFrac aborts the run (resumably) when more than this
+	// fraction of the files examined so far were quarantined; 0
+	// disables the check. A mis-pointed directory should fail loudly,
+	// not produce a tiny corpus after days of grinding.
+	MaxQuarantineFrac float64
+	// Resume continues a previous interrupted run against the same
+	// store directory instead of resetting it.
+	Resume bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// IngestQuarantine records one skipped source file.
+type IngestQuarantine struct {
+	Index  int    `json:"index"` // position in the sorted file walk
+	File   string `json:"file"`
+	Reason string `json:"reason"`
+}
+
+// IngestReport summarises one (possibly resumed) ingestion run.
+type IngestReport struct {
+	Files       int                `json:"files"`    // files discovered by the walk
+	Ingested    int                `json:"ingested"` // records appended this run
+	Dupes       int                `json:"dupes"`    // appends skipped by the dedup index, store lifetime
+	Records     int                `json:"records"`  // records in the store after the run
+	Shards      int                `json:"shards"`
+	Resumed     bool               `json:"resumed"`
+	ResumedAt   int                `json:"resumed_at,omitempty"` // first file index processed this run
+	Quarantined []IngestQuarantine `json:"quarantined,omitempty"`
+}
+
+// ingestJournal is the on-disk resume state.
+type ingestJournal struct {
+	Version     int                `json:"version"`
+	ConfigHash  uint64             `json:"config_hash"`
+	Files       int                `json:"files"`
+	Shards      []ingestShardMark  `json:"shards"`
+	Quarantined []IngestQuarantine `json:"quarantined,omitempty"`
+	Complete    bool               `json:"complete"`
+}
+
+// ingestShardMark pins one published shard to the walk position.
+type ingestShardMark struct {
+	FilesDone int `json:"files_done"` // files fully consumed when the shard landed
+	Records   int `json:"records"`    // records in the shard
+	Dupes     int `json:"dupes"`      // cumulative dupe count at publication
+}
+
+// IngestDir ingests every .mtx file under srcDir (recursively, sorted
+// by path for determinism) into a corpus store at storeDir, labelling
+// with lab. See the package comment above for the failure contract.
+func IngestDir(ctx context.Context, srcDir, storeDir string, lab *machine.Labeler, opts IngestOptions) (*IngestReport, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.ShardSize <= 0 {
+		opts.ShardSize = 256
+	}
+	if opts.Limits == (sparse.Limits{}) {
+		opts.Limits = sparse.DefaultLimits()
+	}
+
+	files, err := walkMatrixFiles(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("dataset: ingest: no .mtx files under %s", srcDir)
+	}
+
+	formats := lab.Platform.FormatSet()
+	if len(lab.Formats) > 0 {
+		formats = lab.Formats
+	}
+	confHash := ingestConfigHash(lab.Platform.Name, formats, files, opts)
+
+	store, journal, startFile, resumed, err := prepareIngest(storeDir, lab.Platform.Name, formats, confHash, len(files), opts)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &IngestReport{
+		Files:       len(files),
+		Resumed:     resumed,
+		ResumedAt:   startFile,
+		Quarantined: append([]IngestQuarantine(nil), journal.Quarantined...),
+	}
+	if resumed {
+		logf("resuming ingest at file %d/%d (%d records already stored)", startFile, len(files), store.NumRecords())
+	}
+
+	// Record IDs are the accepted-record ordinal: deterministic across
+	// resume because truncation rewinds the store to a journaled count.
+	nextID := uint64(store.NumRecords())
+	flushedRecords := store.NumRecords()
+
+	quarantine := func(i int, reason string) {
+		q := IngestQuarantine{Index: i, File: files[i].rel, Reason: reason}
+		journal.Quarantined = append(journal.Quarantined, q)
+		report.Quarantined = append(report.Quarantined, q)
+		logf("quarantined %s: %s", q.File, reason)
+	}
+
+	for i := startFile; i < len(files); i++ {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		// Chaos hooks: the drill slows ingestion here to land its
+		// SIGKILL mid-run, and the poison-file fault proves quarantine.
+		if err := faultinject.InjectCtx(ctx, faultinject.PointLabelStall); err != nil {
+			return report, err
+		}
+
+		m, err := readMatrixFileLimits(ctx, files[i].abs, opts.Limits, opts.FileTimeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return report, ctx.Err()
+			}
+			quarantine(i, err.Error())
+			if err := checkQuarantineBudget(report, i-startFile+1, opts.MaxQuarantineFrac); err != nil {
+				writeIngestJournal(storeDir, journal)
+				return report, err
+			}
+			continue
+		}
+
+		fp := sparse.Fingerprint(m)
+		if store.Contains(fp) {
+			store.NoteDupe()
+			continue
+		}
+
+		rec, err := labelIngested(lab, m, nextID)
+		if err != nil {
+			quarantine(i, err.Error())
+			if err := checkQuarantineBudget(report, i-startFile+1, opts.MaxQuarantineFrac); err != nil {
+				writeIngestJournal(storeDir, journal)
+				return report, err
+			}
+			continue
+		}
+
+		added, err := store.Append(rec, fp, m)
+		if err != nil {
+			// Publication failed (ENOSPC, injected write fault). The
+			// manifest never named the shard, the journal still points at
+			// the last good one: abort cleanly, resume later.
+			writeIngestJournal(storeDir, journal)
+			return report, fmt.Errorf("dataset: ingest: %w", err)
+		}
+		if added {
+			nextID++
+			report.Ingested++
+		}
+
+		// A shard landed: pin it to the walk position and persist the
+		// journal. Everything up to and including file i is re-derivable
+		// from this mark alone.
+		if store.NumShards() > len(journal.Shards) {
+			journal.Shards = append(journal.Shards, ingestShardMark{
+				FilesDone: i + 1,
+				Records:   store.NumRecords() - flushedRecords,
+				Dupes:     store.Dupes(),
+			})
+			flushedRecords = store.NumRecords()
+			if err := writeIngestJournal(storeDir, journal); err != nil {
+				return report, err
+			}
+			logf("shard %d published (%d records, file %d/%d)", store.NumShards()-1, store.NumRecords(), i+1, len(files))
+		}
+	}
+
+	if err := store.Flush(); err != nil {
+		writeIngestJournal(storeDir, journal)
+		return report, fmt.Errorf("dataset: ingest: final flush: %w", err)
+	}
+	if store.NumShards() > len(journal.Shards) {
+		journal.Shards = append(journal.Shards, ingestShardMark{
+			FilesDone: len(files),
+			Records:   store.NumRecords() - flushedRecords,
+			Dupes:     store.Dupes(),
+		})
+	}
+	journal.Complete = true
+	if err := writeIngestJournal(storeDir, journal); err != nil {
+		return report, err
+	}
+	writeIngestQuarantineLog(storeDir, report.Quarantined)
+
+	report.Dupes = store.Dupes()
+	report.Records = store.NumRecords()
+	report.Shards = store.NumShards()
+	if report.Records == 0 {
+		return report, fmt.Errorf("dataset: ingest: no loadable .mtx files under %s (%d quarantined)", srcDir, len(report.Quarantined))
+	}
+	return report, nil
+}
+
+// prepareIngest opens or creates the store and computes the resume
+// point. Resume rewinds store and journal to their longest mutually
+// consistent shard prefix, so an orphan shard (published, journal
+// write lost to a crash) or a salvage-degraded shard is simply
+// regenerated — that rewind is what makes resume byte-identical.
+func prepareIngest(storeDir, platform string, formats []sparse.Format, confHash uint64, nfiles int, opts IngestOptions) (*CorpusStore, *ingestJournal, int, bool, error) {
+	fresh := func() (*CorpusStore, *ingestJournal, int, bool, error) {
+		s, err := CreateStore(storeDir, platform, formats, opts.ShardSize)
+		if err != nil {
+			return nil, nil, 0, false, err
+		}
+		os.Remove(filepath.Join(storeDir, ingestJournalFile))
+		return s, &ingestJournal{Version: ingestJournalVersion, ConfigHash: confHash, Files: nfiles}, 0, false, nil
+	}
+	if !opts.Resume {
+		return fresh()
+	}
+	j, err := readIngestJournal(storeDir)
+	if err != nil || j.ConfigHash != confHash || j.Files != nfiles {
+		return fresh()
+	}
+	s, _, err := OpenStore(storeDir)
+	if err != nil {
+		return fresh()
+	}
+	// Longest consistent prefix: journal mark i must agree with the
+	// store's i'th shard on its record count.
+	prefix := 0
+	for prefix < len(j.Shards) && prefix < s.NumShards() {
+		d, err := s.Shard(prefix)
+		if err != nil || len(d.Records) != j.Shards[prefix].Records {
+			break
+		}
+		prefix++
+	}
+	j.Shards = j.Shards[:prefix]
+	dupes := 0
+	startFile := 0
+	if prefix > 0 {
+		dupes = j.Shards[prefix-1].Dupes
+		startFile = j.Shards[prefix-1].FilesDone
+	}
+	if err := s.TruncateShards(prefix, dupes); err != nil {
+		return fresh()
+	}
+	// Quarantine entries past the rewind point will be rediscovered.
+	kept := j.Quarantined[:0]
+	for _, q := range j.Quarantined {
+		if q.Index < startFile {
+			kept = append(kept, q)
+		}
+	}
+	j.Quarantined = kept
+	j.Complete = false
+	return s, j, startFile, true, nil
+}
+
+// ingestFile is one entry of the deterministic walk.
+type ingestFile struct {
+	rel string // relative to the source dir; the journaled identity
+	abs string
+}
+
+// walkMatrixFiles collects every .mtx under dir, sorted by relative
+// path — the order contract that resume and byte-identity depend on.
+func walkMatrixFiles(dir string) ([]ingestFile, error) {
+	var files []ingestFile
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".mtx") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			rel = path
+		}
+		files = append(files, ingestFile{rel: filepath.ToSlash(rel), abs: path})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: ingest: walking %s: %w", dir, err)
+	}
+	sort.Slice(files, func(a, b int) bool { return files[a].rel < files[b].rel })
+	return files, nil
+}
+
+// ingestConfigHash pins the resume journal to everything that shapes
+// the output bytes: platform, format set, shard size, limits, timeout,
+// and the file walk itself. Any change invalidates resume (the run
+// restarts from scratch rather than silently producing a hybrid).
+func ingestConfigHash(platform string, formats []sparse.Format, files []ingestFile, opts IngestOptions) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) { binary.BigEndian.PutUint64(buf[:], v); h.Write(buf[:]) }
+	h.Write([]byte(platform))
+	for _, f := range formats {
+		put(uint64(f))
+	}
+	put(uint64(opts.ShardSize))
+	put(uint64(opts.Limits.MaxRows))
+	put(uint64(opts.Limits.MaxCols))
+	put(uint64(opts.Limits.MaxNNZ))
+	put(uint64(opts.Limits.MaxLineBytes))
+	put(uint64(opts.Limits.Duplicates))
+	if opts.Limits.RejectNonFinite {
+		put(1)
+	}
+	put(uint64(opts.FileTimeout))
+	put(uint64(len(files)))
+	for _, f := range files {
+		h.Write([]byte(f.rel))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// readMatrixFileLimits reads one file through the resource-governed
+// reader under an optional deadline, containing reader panics — one
+// poison file must cost one quarantine entry, not the run.
+func readMatrixFileLimits(ctx context.Context, path string, lim sparse.Limits, timeout time.Duration) (m *sparse.COO, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("reader panic: %v", r)
+		}
+	}()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sparse.ReadMatrixMarketLimits(ctx, f, lim)
+}
+
+// labelIngested computes stats and collects the label for one matrix,
+// containing panics from the build/label step (PointLabelPanic).
+func labelIngested(lab *machine.Labeler, m *sparse.COO, id uint64) (rec Record, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec, err = Record{}, fmt.Errorf("label panic: %v", r)
+		}
+	}()
+	if err := faultinject.Inject(faultinject.PointLabelPanic); err != nil {
+		return Record{}, err
+	}
+	st := sparse.ComputeStats(m)
+	if st.NNZ == 0 {
+		return Record{}, errors.New("matrix has no nonzeros")
+	}
+	label, times := lab.Label(st, id)
+	rec = Record{
+		ID:    id,
+		Spec:  synthgen.Spec{Family: importedFamily},
+		Stats: st,
+		Label: label,
+		Times: times,
+	}
+	rec.SetMatrix(m)
+	return rec, nil
+}
+
+// checkQuarantineBudget aborts (resumably) when too much of the input
+// is being thrown away — after a minimum sample so one early bad file
+// cannot kill a run.
+func checkQuarantineBudget(report *IngestReport, examined int, frac float64) error {
+	const minSample = 16
+	if frac <= 0 || examined < minSample {
+		return nil
+	}
+	if q := len(report.Quarantined); float64(q) > frac*float64(examined) {
+		return fmt.Errorf("dataset: ingest: %d of %d files quarantined exceeds budget %.2f", q, examined, frac)
+	}
+	return nil
+}
+
+func readIngestJournal(storeDir string) (*ingestJournal, error) {
+	b, err := os.ReadFile(filepath.Join(storeDir, ingestJournalFile))
+	if err != nil {
+		return nil, err
+	}
+	var j ingestJournal
+	if err := json.Unmarshal(b, &j); err != nil {
+		return nil, fmt.Errorf("%w: ingest journal: %v", ErrCorrupt, err)
+	}
+	if j.Version != ingestJournalVersion {
+		return nil, fmt.Errorf("%w: ingest journal version %d, supported %d", ErrCorrupt, j.Version, ingestJournalVersion)
+	}
+	return &j, nil
+}
+
+func writeIngestJournal(storeDir string, j *ingestJournal) error {
+	b, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: ingest journal: %w", err)
+	}
+	if err := atomicWriteFile(filepath.Join(storeDir, ingestJournalFile), append(b, '\n')); err != nil {
+		return fmt.Errorf("%w: ingest journal: %v", ErrNoSpace, err)
+	}
+	return nil
+}
+
+// writeIngestQuarantineLog appends this run's quarantine entries to
+// quarantine/ingest-quarantine.jsonl for operator forensics.
+// Best-effort: a full disk must not fail a completed ingest.
+func writeIngestQuarantineLog(storeDir string, qs []IngestQuarantine) {
+	if len(qs) == 0 {
+		return
+	}
+	qdir := filepath.Join(storeDir, storeQuarantine)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(qdir, ingestLogFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, q := range qs {
+		enc.Encode(q)
+	}
+}

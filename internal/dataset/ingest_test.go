@@ -1,0 +1,252 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+// ingestTree writes a small MatrixMarket tree: nine distinct matrices
+// across a nested directory, one byte-identical duplicate, and one
+// malformed file. The sorted recursive walk is the determinism anchor
+// every resume test leans on.
+func ingestTree(t *testing.T) string {
+	t.Helper()
+	src := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(src, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		m := synthgen.Random(50+i, 50+i, 400+20*i, int64(i+1))
+		name := fmt.Sprintf("m%02d.mtx", i)
+		if i%3 == 0 {
+			name = filepath.Join("sub", name)
+		}
+		if err := sparse.WriteMatrixMarketFile(filepath.Join(src, name), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A duplicate of m01 under another name: the dedup index must catch
+	// it by content fingerprint, not by path.
+	dup := synthgen.Random(51, 51, 420, 2)
+	if err := sparse.WriteMatrixMarketFile(filepath.Join(src, "zz_dup.mtx"), dup); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(filepath.Join(src, "broken.mtx"), "%%MatrixMarket matrix coordinate real general\n5 5 3\n1 1"); err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func ingestLabeler() *machine.Labeler {
+	return machine.NewLabeler(machine.XeonLike(), 1)
+}
+
+func TestIngestDirBasic(t *testing.T) {
+	src := ingestTree(t)
+	store := t.TempDir()
+	rep, err := IngestDir(context.Background(), src, store, ingestLabeler(), IngestOptions{ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 11 || rep.Records != 9 || rep.Dupes != 1 || len(rep.Quarantined) != 1 {
+		t.Fatalf("report %+v, want 11 files / 9 records / 1 dupe / 1 quarantined", rep)
+	}
+	if rep.Shards != 3 {
+		t.Fatalf("shards %d, want 3 (9 records at size 4)", rep.Shards)
+	}
+	if !strings.HasSuffix(rep.Quarantined[0].File, "broken.mtx") {
+		t.Fatalf("wrong file quarantined: %+v", rep.Quarantined)
+	}
+
+	s, salv, err := OpenStore(store)
+	if err != nil || salv != nil {
+		t.Fatalf("reopen: salvage=%v err=%v", salv, err)
+	}
+	d, err := s.LoadStoreAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Imported records carry their pattern sidecar: the matrix is
+	// reconstructible in a process that never saw the source files.
+	for i, r := range d.Records {
+		if r.ID != uint64(i) {
+			t.Fatalf("record %d has ID %d — IDs must be the accepted-record ordinal", i, r.ID)
+		}
+		m := r.Matrix()
+		if m == nil || m.NNZ() != r.Stats.NNZ {
+			t.Fatalf("record %d pattern not recoverable", i)
+		}
+	}
+	// The quarantine log and completed journal are on disk for the
+	// operator and for resume.
+	if _, err := os.Stat(filepath.Join(store, storeQuarantine, ingestLogFile)); err != nil {
+		t.Fatalf("quarantine log missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(store, ingestJournalFile)); err != nil {
+		t.Fatalf("progress journal missing: %v", err)
+	}
+}
+
+// An ingest killed between shard publications resumes to a store
+// byte-identical to an uninterrupted run — the tentpole contract.
+func TestIngestResumeByteIdentical(t *testing.T) {
+	src := ingestTree(t)
+	lab := ingestLabeler()
+
+	ref := t.TempDir()
+	if _, err := IngestDir(context.Background(), src, ref, lab, IngestOptions{ShardSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt the second run right after its second shard lands: the
+	// Logf hook is called once per publication, so cancelling there
+	// models a kill with a journaled prefix plus in-flight state.
+	store := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	published := 0
+	_, err := IngestDir(ctx, src, store, lab, IngestOptions{
+		ShardSize: 2,
+		Logf: func(format string, args ...any) {
+			if strings.HasPrefix(format, "shard ") {
+				if published++; published == 2 {
+					cancel()
+				}
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted ingest returned %v, want context.Canceled", err)
+	}
+
+	rep, err := IngestDir(context.Background(), src, store, lab, IngestOptions{ShardSize: 2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resumed || rep.ResumedAt == 0 {
+		t.Fatalf("resume did not pick up the journal: %+v", rep)
+	}
+	if rep.Records != 9 || rep.Dupes != 1 {
+		t.Fatalf("resumed totals %+v, want 9 records / 1 dupe", rep)
+	}
+	compareStoreBytes(t, ref, store)
+}
+
+// An injected shard-write failure surfaces as ErrNoSpace, leaves the
+// store consistent at the last published shard, and the same -resume
+// path converges on the byte-identical store.
+func TestIngestWriteFailureResumable(t *testing.T) {
+	src := ingestTree(t)
+	lab := ingestLabeler()
+
+	ref := t.TempDir()
+	if _, err := IngestDir(context.Background(), src, ref, lab, IngestOptions{ShardSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	store := t.TempDir()
+	faultinject.Enable(faultinject.PointStoreWriteFail, faultinject.Fault{Err: faultinject.ErrInjected, Remaining: 1})
+	t.Cleanup(faultinject.Reset)
+	_, err := IngestDir(context.Background(), src, store, lab, IngestOptions{ShardSize: 2})
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("injected write failure returned %v, want ErrNoSpace", err)
+	}
+	faultinject.Reset()
+
+	// The aborted store must still open (zero or more whole shards).
+	if _, _, err := OpenStore(store); err != nil {
+		t.Fatalf("aborted store unopenable: %v", err)
+	}
+
+	rep, err := IngestDir(context.Background(), src, store, lab, IngestOptions{ShardSize: 2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 9 {
+		t.Fatalf("resumed records %d, want 9", rep.Records)
+	}
+	compareStoreBytes(t, ref, store)
+}
+
+// Resume against a store whose trailing shard was damaged on disk: the
+// consistency check rewinds past the salvaged shard and regenerates
+// it, still converging on the byte-identical store.
+func TestIngestResumeAfterShardDamage(t *testing.T) {
+	src := ingestTree(t)
+	lab := ingestLabeler()
+
+	ref := t.TempDir()
+	if _, err := IngestDir(context.Background(), src, ref, lab, IngestOptions{ShardSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	store := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	published := 0
+	IngestDir(ctx, src, store, lab, IngestOptions{
+		ShardSize: 2,
+		Logf: func(format string, args ...any) {
+			if strings.HasPrefix(format, "shard ") {
+				if published++; published == 3 {
+					cancel()
+				}
+			}
+		},
+	})
+
+	// Tear the last published shard, as a torn write would.
+	raw, err := os.ReadFile(filepath.Join(store, storeShardFile(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store, storeShardFile(2)), raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := IngestDir(context.Background(), src, store, lab, IngestOptions{ShardSize: 2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 9 {
+		t.Fatalf("resumed records %d, want 9", rep.Records)
+	}
+	compareStoreBytes(t, ref, store)
+}
+
+// A changed source tree (or options) invalidates the journal: resume
+// falls back to a fresh ingest rather than splicing mismatched shards.
+func TestIngestResumeConfigMismatch(t *testing.T) {
+	src := ingestTree(t)
+	lab := ingestLabeler()
+	store := t.TempDir()
+	if _, err := IngestDir(context.Background(), src, store, lab, IngestOptions{ShardSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// New file changes the walk, hence the config hash.
+	extra := synthgen.Random(70, 70, 500, 99)
+	if err := sparse.WriteMatrixMarketFile(filepath.Join(src, "new.mtx"), extra); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := IngestDir(context.Background(), src, store, lab, IngestOptions{ShardSize: 2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed {
+		t.Fatal("resumed across a source-tree change")
+	}
+	if rep.Records != 10 {
+		t.Fatalf("records %d, want 10 after fresh re-ingest", rep.Records)
+	}
+}

@@ -1,0 +1,244 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// Corruption harness for the salvage path: truncation, bit flips, and
+// CRC-valid-but-semantically-poisonous records. The contract under
+// test: OpenStore never panics and never aborts on shard damage, never
+// returns a record that fails semantic validation, always quarantines
+// the damaged original, and always writes a salvage report.
+
+func shardPath(dir string, idx int) string {
+	return filepath.Join(dir, storeShardFile(idx))
+}
+
+// mustOpenSalvaged opens a deliberately damaged store and asserts the
+// salvage contract held: no error, a report that names the shard, the
+// report persisted to salvage.json, and the original quarantined.
+func mustOpenSalvaged(t *testing.T, dir string, idx int) (*CorpusStore, *SalvageReport) {
+	t.Helper()
+	s, rep, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("damaged store aborted the open: %v", err)
+	}
+	if rep == nil || !rep.Salvaged() {
+		t.Fatalf("damage went unreported: %+v", rep)
+	}
+	found := false
+	for _, sv := range rep.Shards {
+		if sv.Shard == storeShardFile(idx) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report does not name shard %d: %+v", idx, rep.Shards)
+	}
+	if _, err := os.Stat(filepath.Join(dir, storeSalvageFile)); err != nil {
+		t.Fatalf("salvage.json not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, storeQuarantine, storeShardFile(idx)+".corrupt")); err != nil {
+		t.Fatalf("corrupt original not quarantined: %v", err)
+	}
+	return s, rep
+}
+
+// A shard truncated mid-frame loses its tail records; everything before
+// the tear — and every other shard — survives.
+func TestSalvageTruncatedShard(t *testing.T) {
+	dir, d, _ := storeFixture(t)
+	path := shardPath(dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := mustOpenSalvaged(t, dir, 1)
+	if s.NumRecords() < 44 || s.NumRecords() >= 60 {
+		t.Fatalf("recovered %d records, want within [44, 60)", s.NumRecords())
+	}
+	got, err := s.LoadStoreAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("salvaged store returned invalid records: %v", err)
+	}
+	// The three undamaged shards are intact record for record.
+	for _, r := range got.Records {
+		w := d.Records[r.ID]
+		if r.Label != w.Label || r.Stats != w.Stats {
+			t.Fatalf("record %d mutated by salvage", r.ID)
+		}
+	}
+}
+
+// A flipped byte inside one record frame costs exactly the records
+// whose CRCs break, not the shard.
+func TestSalvageBitFlip(t *testing.T) {
+	dir, _, _ := storeFixture(t)
+	path := shardPath(dir, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aim the flip at the first record frame's gob body: 24 bytes of
+	// envelope header, then the header frame ([u32 len][u32 crc][body]),
+	// then the record frame's own 8-byte prefix plus a few bytes in.
+	hdrFrameLen := int(binary.BigEndian.Uint32(raw[24:28]))
+	flipAt := 24 + 8 + hdrFrameLen + 8 + 4
+	raw[flipAt] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, rep := mustOpenSalvaged(t, dir, 2)
+	var sv *ShardSalvage
+	for i := range rep.Shards {
+		if rep.Shards[i].Shard == storeShardFile(2) {
+			sv = &rep.Shards[i]
+		}
+	}
+	if sv.Recovered != 15 || sv.Lost != 1 {
+		t.Fatalf("one flipped frame should cost exactly one record: %+v", sv)
+	}
+	if got := s.NumRecords(); got != 59 {
+		t.Fatalf("store holds %d records, want 59", got)
+	}
+	if got, err := s.LoadStoreAll(); err != nil {
+		t.Fatal(err)
+	} else if err := got.Validate(); err != nil {
+		t.Fatalf("salvaged store returned invalid records: %v", err)
+	}
+	// The salvage rewrote a clean shard in place: reopening is quiet.
+	if _, rep2, err := OpenStore(dir); err != nil || rep2 != nil {
+		t.Fatalf("reopen after salvage: rep=%+v err=%v", rep2, err)
+	}
+}
+
+// A shard overwritten with garbage is lost wholesale — quarantined and
+// reported — while the rest of the store keeps serving.
+func TestSalvageShardLost(t *testing.T) {
+	dir, _, _ := storeFixture(t)
+	if err := os.WriteFile(shardPath(dir, 0), []byte("not a shard at all, not even close to one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := mustOpenSalvaged(t, dir, 0)
+	if s.NumRecords() != 44 {
+		t.Fatalf("recovered %d records, want 44 (three intact shards)", s.NumRecords())
+	}
+	if got, err := s.LoadStoreAll(); err != nil {
+		t.Fatal(err)
+	} else if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fuzz harness's nastiest case: every frame CRC holds, but a
+// record lies about its contents (a NaN measurement). The semantic
+// gate must drop exactly that record and note it in the report.
+func TestSalvageSemanticGate(t *testing.T) {
+	d := smallDataset(t)
+	d.Records[20].Times[d.Records[20].Label] = math.NaN()
+	dir := t.TempDir()
+	if _, err := WriteStore(dir, d, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Record 20 sits in shard 1. Break only the envelope checksum
+	// (header bytes 20..24) so the fast path fails but every frame —
+	// including the poisoned record's, whose CRC is honest about its
+	// dishonest bytes — still walks cleanly.
+	path := shardPath(dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[21] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, rep := mustOpenSalvaged(t, dir, 1)
+	if len(rep.DroppedRecords) != 1 || rep.DroppedRecords[0].Record != 20 {
+		t.Fatalf("semantic drop not reported: %+v", rep.DroppedRecords)
+	}
+	if s.NumRecords() != 59 {
+		t.Fatalf("store holds %d records, want 59", s.NumRecords())
+	}
+	got, err := s.LoadStoreAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got.Records {
+		if r.ID == 20 {
+			t.Fatal("poisoned record laundered back into the corpus")
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-record drops also land in the quarantine record log.
+	if _, err := os.Stat(filepath.Join(dir, storeQuarantine, storeRecordLog)); err != nil {
+		t.Fatalf("dropped-record log not written: %v", err)
+	}
+}
+
+// FuzzSalvageShard feeds arbitrary bytes to the salvage path as a lone
+// shard file. Whatever the bytes, OpenStore must not panic, must not
+// return semantically invalid records, and must leave a report behind
+// whenever it repaired anything.
+func FuzzSalvageShard(f *testing.F) {
+	lab := machine.NewLabeler(machine.XeonLike(), 1)
+	d := Generate(Config{Count: 60, Seed: 5, MaxN: 256}, lab)
+	seedDir := f.TempDir()
+	if _, err := WriteStore(seedDir, d, 16); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(shardPath(seedDir, 0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, storeShardFile(0)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, rep, err := OpenStore(dir)
+		if err != nil {
+			return // rejected outright is fine; panicking or lying is not
+		}
+		if rep != nil {
+			if _, err := os.Stat(filepath.Join(dir, storeSalvageFile)); err != nil {
+				t.Fatalf("salvage ran but wrote no report: %v", err)
+			}
+		}
+		got, err := s.LoadStoreAll()
+		if err != nil {
+			return // zero valid records is an honest outcome
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("salvage returned invalid records: %v", err)
+		}
+	})
+}

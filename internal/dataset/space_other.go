@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package dataset
+
+// PreflightFreeSpace is a no-op where Statfs is unavailable; the write
+// error path still aborts cleanly.
+func PreflightFreeSpace(dir string, need uint64) error { return nil }

@@ -1,0 +1,28 @@
+//go:build linux || darwin
+
+package dataset
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// PreflightFreeSpace fails with ErrNoSpace when the filesystem holding
+// dir has fewer than need bytes available to an unprivileged writer.
+// Shard publication calls it before every write so a filling disk
+// aborts the build cleanly at a shard boundary — resumable, with the
+// manifest still consistent — instead of tearing a half-written shard
+// or, worse, starving the journal write that makes resume possible.
+func PreflightFreeSpace(dir string, need uint64) error {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		// An unstattable filesystem is not a verdict about space; let
+		// the write itself decide.
+		return nil
+	}
+	avail := uint64(st.Bavail) * uint64(st.Bsize)
+	if avail < need {
+		return fmt.Errorf("%w: %s has %d bytes free, need %d", ErrNoSpace, dir, avail, need)
+	}
+	return nil
+}

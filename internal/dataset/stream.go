@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+)
+
+// The "any corpus" load path: every consumer that used to take a
+// monolithic enveloped .bin (train -dataset-in, migrate -dataset,
+// experiments -dataset, shepherd -train-dataset, the feedback
+// collector) now also accepts a sharded store directory, with the same
+// typed-error contract — ErrCorrupt for damage, ErrMismatch for the
+// wrong platform or format set, ErrInvalid for semantic breakage.
+
+// IsStoreDir reports whether path looks like a corpus store (a
+// directory; OpenStore makes the final call).
+func IsStoreDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// OpenValidatedStore opens a store directory and checks it against the
+// labeler's platform and format set — the streaming twin of
+// LoadValidated. Salvage runs inside OpenStore; the report (nil when
+// the store opened clean) is returned so callers can log what was
+// repaired.
+func OpenValidatedStore(dir string, lab *machine.Labeler) (*CorpusStore, *SalvageReport, error) {
+	s, report, err := OpenStore(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Platform() != lab.Platform.Name {
+		return nil, report, fmt.Errorf("%w: store labeled on %q, labeler targets %q", ErrMismatch, s.Platform(), lab.Platform.Name)
+	}
+	want := lab.Formats
+	if len(want) == 0 {
+		want = lab.Platform.FormatSet()
+	}
+	if !formatsEqual(s.Formats(), want) {
+		return nil, report, fmt.Errorf("%w: store selects among %v, labeler selects among %v", ErrMismatch, s.Formats(), want)
+	}
+	return s, report, nil
+}
+
+// LoadValidatedAny loads a corpus from either a monolithic enveloped
+// file or a sharded store directory, validated against the labeler.
+// The store path streams shard-at-a-time into memory — it exists for
+// consumers that genuinely need the whole corpus resident (migration
+// retraining, drift profiles); corpus-scale training should iterate
+// the store instead (see OpenValidatedStore).
+func LoadValidatedAny(path string, lab *machine.Labeler) (*Dataset, error) {
+	if !IsStoreDir(path) {
+		return LoadValidated(path, lab)
+	}
+	s, _, err := OpenValidatedStore(path, lab)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.LoadStoreAll()
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

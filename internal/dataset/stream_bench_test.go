@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// BenchmarkShardIter guards the allocation budget of the streaming
+// shard iterator — the loop every epoch of store-backed training sits
+// in. One op is a full pass over a 128-record store in 32-record
+// shards; allocs/op is the gated number (benchgate), because the
+// promise of the streaming path is bounded memory, and an accidental
+// whole-store materialisation shows up as an alloc explosion long
+// before it shows up as latency.
+func BenchmarkShardIter(b *testing.B) {
+	lab := machine.NewLabeler(machine.XeonLike(), 1)
+	d := Generate(Config{Count: 128, Seed: 11, MaxN: 256}, lab)
+	dir := b.TempDir()
+	if _, err := WriteStore(dir, d, 32); err != nil {
+		b.Fatal(err)
+	}
+	s, rep, err := OpenStore(dir)
+	if err != nil || rep != nil {
+		b.Fatalf("store: rep=%v err=%v", rep, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.Iter()
+		n := 0
+		for it.Next() {
+			n += len(it.Shard().Records)
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 128 {
+			b.Fatalf("iterated %d records", n)
+		}
+	}
+}

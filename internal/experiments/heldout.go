@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/selector"
+	"repro/internal/sparse"
+)
+
+// Held-out evaluation over a sharded corpus store: the at-scale twin
+// of the in-memory Table 2 / Figure 8 pipeline. A trained model is
+// scored against the shards that core's streaming trainer holds out
+// (same split function, same seed → the model never saw them), one
+// shard resident at a time, and the result is one reproducible JSON
+// report — no timestamps, no map ordering, so byte-identical inputs
+// give a byte-identical report the CI drill can assert on.
+
+// HeldoutOptions configures RunHeldout.
+type HeldoutOptions struct {
+	StorePath    string  // sharded corpus store directory
+	ModelPath    string  // trained selector artifact (selector.SaveFile)
+	Platform     string  // platform the store must be labeled for
+	Seed         int64   // must match the training run for the same split
+	TestFraction float64 // must match the training run (default 0.2)
+}
+
+// HeldoutReport is the JSON evaluation report.
+type HeldoutReport struct {
+	Store         string          `json:"store"`
+	Model         string          `json:"model"`
+	Platform      string          `json:"platform"`
+	Seed          int64           `json:"seed"`
+	TotalShards   int             `json:"total_shards"`
+	HeldoutShards []int           `json:"heldout_shards"`
+	Records       int             `json:"records"`
+	Accuracy      float64         `json:"accuracy"`
+	PerFormat     []FormatQuality `json:"per_format"`
+	// Modelled SpMV speedups of the predicted format over always-CSR,
+	// and the fraction of the oracle (best-possible) time achieved.
+	AvgSpeedupOverCSR float64 `json:"avg_speedup_over_csr"`
+	MaxSpeedupOverCSR float64 `json:"max_speedup_over_csr"`
+	OracleFraction    float64 `json:"oracle_fraction"`
+	// Fallbacks counts records where prediction failed and the
+	// always-CSR fallback was scored instead.
+	Fallbacks int `json:"fallbacks"`
+	// Salvaged reports whether opening the store needed salvage (the
+	// evaluation then ran on the recovered corpus).
+	Salvaged bool `json:"salvaged"`
+}
+
+// FormatQuality is one format's row of the report.
+type FormatQuality struct {
+	Format    string  `json:"format"`
+	Support   int     `json:"support"`
+	Recall    float64 `json:"recall"`
+	Precision float64 `json:"precision"`
+}
+
+// RunHeldout evaluates a trained selector over a store's held-out
+// shard stream and writes a human summary to w (when non-nil). The
+// returned report is ready for json.Marshal.
+func RunHeldout(o HeldoutOptions, w io.Writer) (*HeldoutReport, error) {
+	if o.TestFraction <= 0 || o.TestFraction >= 1 {
+		o.TestFraction = 0.2
+	}
+	if o.Platform == "" {
+		o.Platform = "xeonlike"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	p, err := machine.PlatformByName(o.Platform)
+	if err != nil {
+		return nil, err
+	}
+	store, salvage, err := dataset.OpenValidatedStore(o.StorePath, machine.NewLabeler(p, o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sel, err := selector.LoadFile(o.ModelPath)
+	if err != nil {
+		return nil, err
+	}
+
+	_, test := core.SplitShards(store.NumShards(), o.TestFraction, o.Seed+7)
+	if len(test) == 0 {
+		return nil, errors.New("experiments: store has no held-out shards (single shard store)")
+	}
+
+	rep := &HeldoutReport{
+		Store: o.StorePath, Model: o.ModelPath, Platform: o.Platform, Seed: o.Seed,
+		TotalShards: store.NumShards(), HeldoutShards: test,
+		Salvaged: salvage != nil,
+	}
+	m := selector.NewMetrics(store.Formats())
+	var spSum, spMax, oracleSum float64
+	var spN int
+	for _, si := range test {
+		d, err := store.Shard(si)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: held-out shard %d: %w", si, err)
+		}
+		for i := range d.Records {
+			r := &d.Records[i]
+			pred := sel.PredictWithFallback(r.Matrix())
+			if pred.FellBack {
+				rep.Fallbacks++
+			}
+			m.Add(d.ClassIndex(r.Label), d.ClassIndex(pred.Format))
+			rep.Records++
+
+			tPred, okP := r.Times[pred.Format]
+			tCSR, okC := r.Times[sparse.FormatCSR]
+			if !okP || !okC || tPred <= 0 || tCSR <= 0 {
+				continue
+			}
+			sp := tCSR / tPred
+			spSum += sp
+			if sp > spMax {
+				spMax = sp
+			}
+			best := math.Inf(1)
+			for _, t := range r.Times {
+				if t > 0 && t < best {
+					best = t
+				}
+			}
+			oracleSum += best / tPred
+			spN++
+		}
+	}
+	if rep.Records == 0 {
+		return nil, errors.New("experiments: held-out shards hold no records")
+	}
+	rep.Accuracy = m.Accuracy()
+	if spN > 0 {
+		rep.AvgSpeedupOverCSR = spSum / float64(spN)
+		rep.MaxSpeedupOverCSR = spMax
+		rep.OracleFraction = oracleSum / float64(spN)
+	}
+	for i, f := range m.Formats {
+		rep.PerFormat = append(rep.PerFormat, FormatQuality{
+			Format: f.String(), Support: m.Support(i),
+			Recall: m.Recall(i), Precision: m.Precision(i),
+		})
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "Held-out evaluation: %s against %s\n", o.ModelPath, o.StorePath)
+		fmt.Fprintf(w, "(%d records in %d/%d held-out shards", rep.Records, len(test), rep.TotalShards)
+		if rep.Salvaged {
+			fmt.Fprintf(w, "; store needed salvage")
+		}
+		fmt.Fprintf(w, ")\n\n%s", m)
+		fmt.Fprintf(w, "avg speedup over CSR %.3f (max %.3f), %.1f%% of oracle, %d fallbacks\n",
+			rep.AvgSpeedupOverCSR, rep.MaxSpeedupOverCSR, rep.OracleFraction*100, rep.Fallbacks)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as stable, indented JSON.
+func (r *HeldoutReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

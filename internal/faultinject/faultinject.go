@@ -64,6 +64,14 @@ const (
 	// loading — the corrupt-retrain fault the probe-validated shadow
 	// load must reject while the live model keeps serving.
 	PointCandidateCorrupt = "shepherd.candidate.corrupt"
+	// PointStoreWriteFail fails a corpus-store shard write — the
+	// ENOSPC/EIO fault a long bulk ingestion must turn into a clean
+	// resumable abort, never a torn store.
+	PointStoreWriteFail = "dataset.store.writefail"
+	// PointStoreCorrupt flips a byte in a freshly published corpus-store
+	// shard — the torn-write fault the salvage path must detect on open,
+	// recover what it can from, and quarantine the rest of.
+	PointStoreCorrupt = "dataset.store.corrupt"
 )
 
 // Fault describes what an armed point does when reached: sleep for

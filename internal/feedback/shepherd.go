@@ -375,6 +375,10 @@ func (s *Shepherd) observe(ctx context.Context) error {
 	return nil
 }
 
+// retrainChunk is the streaming chunk size for retraining on the
+// online corpus.
+const retrainChunk = 256
+
 // retrain derives a top-evolvement candidate from the live model,
 // fits it on the online corpus (checkpointed — an interrupted retrain
 // resumes), evaluates both models on that corpus and hands the saved
@@ -387,10 +391,6 @@ func (s *Shepherd) retrain(ctx context.Context) error {
 	corpus, err := s.cfg.Collector.Corpus()
 	if err != nil {
 		return err
-	}
-	idx := make([]int, len(corpus.Records))
-	for i := range idx {
-		idx[i] = i
 	}
 
 	// Resume an interrupted retrain from its newest checkpoint, else
@@ -412,23 +412,24 @@ func (s *Shepherd) retrain(ctx context.Context) error {
 	}
 	cand.Cfg.Epochs = s.cfg.RetrainEpochs
 
-	samples, err := cand.Samples(corpus, idx)
-	if err != nil {
-		return err
-	}
+	// The retrain streams the corpus in fixed-size chunks (the corpus
+	// store's shard discipline applied to the in-memory online corpus),
+	// so a long-lived collector cannot push retrain memory past one
+	// chunk of normalised samples.
+	shards := selector.DatasetShards(corpus, retrainChunk)
 	cp, err := nn.NewCheckpointer(s.checkpointDir(), 1, 2)
 	if err != nil {
 		return fmt.Errorf("feedback: %w", err)
 	}
-	if _, err := cand.TrainSamplesCtx(ctx, samples, cp, resume); err != nil {
+	if _, err := cand.TrainStreamCtx(ctx, shards, cp, resume); err != nil {
 		return fmt.Errorf("feedback: retraining candidate: %w", err)
 	}
 
-	liveM, err := live.EvaluateSamples(samples)
+	liveM, err := live.EvaluateStream(shards)
 	if err != nil {
 		return err
 	}
-	candM, err := cand.EvaluateSamples(samples)
+	candM, err := cand.EvaluateStream(shards)
 	if err != nil {
 		return err
 	}

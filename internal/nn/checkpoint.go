@@ -351,6 +351,27 @@ type EpochStats struct {
 // epoch boundary and returns the context error with the per-epoch
 // losses so far — the clean partial result.
 func (t *Trainer) Run(ctx context.Context, samples []Sample, o RunOpts) ([]float64, error) {
+	return t.runLoop(ctx, o, func(ctx context.Context) (float64, error) {
+		return t.TrainEpochCtx(ctx, samples)
+	})
+}
+
+// RunStream is Run for corpora that do not fit in memory: each epoch
+// pulls samples chunk by chunk from src (typically one corpus-store
+// shard per chunk), so peak memory is bounded by the largest chunk,
+// not the corpus. Fault tolerance is identical to Run — divergence
+// rolls the whole epoch back and retries with a backed-off learning
+// rate, cancellation flushes a checkpoint at the last epoch boundary.
+func (t *Trainer) RunStream(ctx context.Context, src SampleSource, o RunOpts) ([]float64, error) {
+	return t.runLoop(ctx, o, func(ctx context.Context) (float64, error) {
+		return t.TrainEpochStreamCtx(ctx, src)
+	})
+}
+
+// runLoop is the shared fault-tolerant epoch loop behind Run and
+// RunStream; epochFn runs one epoch and must leave t.Epoch incremented
+// only on success.
+func (t *Trainer) runLoop(ctx context.Context, o RunOpts, epochFn func(context.Context) (float64, error)) ([]float64, error) {
 	if o.MaxRetries <= 0 {
 		o.MaxRetries = 3
 	}
@@ -384,7 +405,7 @@ func (t *Trainer) Run(ctx context.Context, samples []Sample, o RunOpts) ([]float
 			o.PreEpoch(t.Epoch)
 		}
 		epochStart := time.Now()
-		loss, err := t.TrainEpochCtx(ctx, samples)
+		loss, err := epochFn(ctx)
 		switch {
 		case err == nil:
 			epochDur := time.Since(epochStart)

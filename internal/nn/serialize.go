@@ -60,6 +60,19 @@ const (
 	// COO patterns that let a fresh process rebuild the matrices a
 	// corpus' records describe, plus the fingerprint dedup set.
 	EnvelopeFeedbackPatterns
+	// EnvelopeCorpusShard holds one shard of a sharded corpus store
+	// (internal/dataset CorpusStore): a header frame plus per-record
+	// CRC-framed payloads, so a torn shard can be salvaged record by
+	// record instead of discarded whole.
+	EnvelopeCorpusShard
+	// EnvelopeCorpusManifest holds a corpus store's manifest: platform,
+	// format set, shard size and the CRC'd list of published shards.
+	EnvelopeCorpusManifest
+	// EnvelopeCorpusIndex holds a corpus store's cross-shard fingerprint
+	// dedup index — advisory (rebuilt from the shards when absent or
+	// stale), persisted so reopening a million-record store does not
+	// re-hash the world.
+	EnvelopeCorpusIndex
 )
 
 // Typed envelope errors. Callers match with errors.Is to distinguish

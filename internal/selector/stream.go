@@ -1,0 +1,156 @@
+package selector
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// ShardStream is the shard-granular corpus access the streaming
+// training and evaluation paths need — satisfied by
+// *dataset.CorpusStore. Peak memory on these paths is one shard's
+// records plus its normalised samples, never the whole corpus.
+type ShardStream interface {
+	NumShards() int
+	Shard(i int) (*dataset.Dataset, error)
+}
+
+// storeSource adapts a ShardStream to nn.SampleSource: each epoch
+// visits every shard once in an epoch-seeded shuffled order, and each
+// shard is normalised into samples only while it is the active chunk.
+type storeSource struct {
+	sel   *Selector
+	store ShardStream
+}
+
+// Stream implements nn.SampleSource.
+func (src *storeSource) Stream(epoch int) (nn.ChunkStream, error) {
+	n := src.store.NumShards()
+	rng := rand.New(rand.NewSource(src.sel.Cfg.Seed*7_368_787 + int64(epoch) + 1))
+	return &storeStream{src: src, order: rng.Perm(n)}, nil
+}
+
+type storeStream struct {
+	src   *storeSource
+	order []int
+	pos   int
+}
+
+func (st *storeStream) Next() ([]nn.Sample, error) {
+	for st.pos < len(st.order) {
+		i := st.order[st.pos]
+		st.pos++
+		d, err := st.src.store.Shard(i)
+		if err != nil {
+			return nil, fmt.Errorf("selector: streaming shard %d: %w", i, err)
+		}
+		if len(d.Records) == 0 {
+			continue
+		}
+		return st.src.sel.Samples(d, nil)
+	}
+	return nil, nil
+}
+
+// DatasetShards views an in-memory dataset as a ShardStream of
+// fixed-size chunks, so consumers holding a modest corpus (the
+// feedback collector's online records) can reuse the streaming
+// training path and keep normalised-sample memory bounded by the
+// chunk, not the corpus.
+func DatasetShards(d *dataset.Dataset, size int) ShardStream {
+	if size <= 0 {
+		size = 256
+	}
+	return &dsShards{d: d, size: size}
+}
+
+type dsShards struct {
+	d    *dataset.Dataset
+	size int
+}
+
+func (v *dsShards) NumShards() int {
+	return (len(v.d.Records) + v.size - 1) / v.size
+}
+
+func (v *dsShards) Shard(i int) (*dataset.Dataset, error) {
+	lo := i * v.size
+	hi := lo + v.size
+	if lo < 0 || lo >= len(v.d.Records) {
+		return nil, fmt.Errorf("selector: dataset shard %d out of range", i)
+	}
+	if hi > len(v.d.Records) {
+		hi = len(v.d.Records)
+	}
+	return &dataset.Dataset{Platform: v.d.Platform, Formats: v.d.Formats, Records: v.d.Records[lo:hi]}, nil
+}
+
+// TrainStreamCtx fits the selector over a sharded corpus store without
+// materialising it: the streaming twin of TrainSamplesCtx, with the
+// same fault tolerance (divergence rollback + LR backoff via
+// nn.RunStream), checkpointing, and exact resume.
+func (s *Selector) TrainStreamCtx(ctx context.Context, store ShardStream, cp *nn.Checkpointer, resume *nn.Checkpoint) ([]float64, error) {
+	opt := nn.NewAdam(s.Cfg.LearningRate)
+	opt.WeightDecay = s.Cfg.WeightDecay
+	tr := nn.NewTrainer(s.Model, opt, s.Cfg.BatchSize, s.Cfg.Seed+101)
+	tr.Workers = s.Cfg.Workers
+	tr.MaxGradNorm = s.Cfg.MaxGradNorm
+	if resume != nil {
+		if err := tr.RestoreCheckpoint(resume); err != nil {
+			return nil, fmt.Errorf("selector: restoring checkpoint: %w", err)
+		}
+	}
+	decayEpoch := s.Cfg.Epochs + 1
+	if s.Cfg.LRDecayAt > 0 && s.Cfg.LRDecayAt < 1 {
+		decayEpoch = int(float64(s.Cfg.Epochs) * s.Cfg.LRDecayAt)
+	}
+	extra, err := s.checkpointExtra()
+	if err != nil {
+		return nil, err
+	}
+	decayed := resume != nil && resume.Epoch >= decayEpoch
+	return tr.RunStream(ctx, &storeSource{sel: s, store: store}, nn.RunOpts{
+		Epochs:       s.Cfg.Epochs,
+		Checkpointer: cp,
+		Extra:        extra,
+		MaxRetries:   s.Cfg.MaxRetries,
+		LRBackoff:    s.Cfg.LRBackoff,
+		PreEpoch: func(e int) {
+			if !decayed && e >= decayEpoch {
+				decayed = true
+				opt.LR = s.Cfg.LearningRate * 0.2
+			}
+		},
+		PostEpoch: s.epochHook,
+	})
+}
+
+// EvaluateStream computes the Table 2/3 metrics over a sharded store,
+// one shard resident at a time.
+func (s *Selector) EvaluateStream(store ShardStream) (*Metrics, error) {
+	m := NewMetrics(s.Cfg.Formats)
+	for i := 0; i < store.NumShards(); i++ {
+		d, err := store.Shard(i)
+		if err != nil {
+			return nil, fmt.Errorf("selector: evaluating shard %d: %w", i, err)
+		}
+		if len(d.Records) == 0 {
+			continue
+		}
+		samples, err := s.Samples(d, nil)
+		if err != nil {
+			return nil, err
+		}
+		preds, err := predictAll(s.Model, samples, s.Cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		for j, sm := range samples {
+			m.Add(sm.Label, preds[j])
+		}
+	}
+	return m, nil
+}

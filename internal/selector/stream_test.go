@@ -1,0 +1,78 @@
+package selector
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/represent"
+)
+
+// The streaming training/evaluation paths must reproduce the in-memory
+// semantics while touching only one shard at a time.
+
+func TestDatasetShardsChunking(t *testing.T) {
+	d := cpuDataset(t, 25)
+	shards := DatasetShards(d, 10)
+	if shards.NumShards() != 3 {
+		t.Fatalf("25 records at chunk 10 → %d shards, want 3", shards.NumShards())
+	}
+	total := 0
+	for i := 0; i < shards.NumShards(); i++ {
+		c, err := shards.Shard(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(c.Records)
+		if c.Platform != d.Platform {
+			t.Fatalf("chunk %d lost platform", i)
+		}
+	}
+	if total != 25 {
+		t.Fatalf("chunks cover %d records, want 25", total)
+	}
+	if _, err := shards.Shard(3); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+}
+
+func TestTrainStreamMatchesEvaluate(t *testing.T) {
+	d := cpuDataset(t, 40)
+	dir := t.TempDir()
+	if _, err := dataset.WriteStore(dir, d, 8); err != nil {
+		t.Fatal(err)
+	}
+	store, rep, err := dataset.OpenStore(dir)
+	if err != nil || rep != nil {
+		t.Fatalf("store: rep=%v err=%v", rep, err)
+	}
+
+	cfg := fastConfig(represent.KindHistogram)
+	cfg.Epochs = 6
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses, err := s.TrainStreamCtx(context.Background(), store, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != cfg.Epochs {
+		t.Fatalf("trained %d epochs, want %d", len(losses), cfg.Epochs)
+	}
+
+	// Streamed evaluation must agree exactly with the in-memory path:
+	// same model, same records, same metrics.
+	streamed, err := s.EvaluateStream(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem, err := s.Evaluate(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Total() != inMem.Total() || streamed.Accuracy() != inMem.Accuracy() {
+		t.Fatalf("streamed eval %d/%f, in-memory %d/%f",
+			streamed.Total(), streamed.Accuracy(), inMem.Total(), inMem.Accuracy())
+	}
+}

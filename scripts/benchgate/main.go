@@ -25,7 +25,8 @@ import (
 )
 
 type result struct {
-	NsPerOp float64 `json:"ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 type doc struct {
@@ -44,8 +45,27 @@ var guarded = []*regexp.Regexp{
 	regexp.MustCompile(`^repro/internal/serve/BenchmarkPredict`),
 }
 
+// allocGuarded names benchmarks whose allocs/op is the contract rather
+// than their latency. The streaming shard iterator is gated this way:
+// its promise is bounded memory per shard, and an accidental
+// whole-store materialisation is an alloc explosion well before it is
+// a latency regression — and allocs/op is deterministic, so the gate
+// can be much tighter than a timing gate.
+var allocGuarded = []*regexp.Regexp{
+	regexp.MustCompile(`^repro/internal/dataset/BenchmarkShardIter`),
+}
+
 func isGuarded(key string) bool {
 	for _, re := range guarded {
+		if re.MatchString(key) {
+			return true
+		}
+	}
+	return false
+}
+
+func isAllocGuarded(key string) bool {
+	for _, re := range allocGuarded {
 		if re.MatchString(key) {
 			return true
 		}
@@ -72,6 +92,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline")
 	current := flag.String("current", "BENCH.json", "fresh benchmark run")
 	threshold := flag.Float64("threshold", 0.25, "max allowed ns/op regression ratio")
+	allocThreshold := flag.Float64("alloc-threshold", 0.10, "max allowed allocs/op regression ratio")
 	advisory := flag.Bool("advisory", false, "report but always exit 0")
 	flag.Parse()
 
@@ -95,7 +116,8 @@ func main() {
 	failures := 0
 	checked := 0
 	for _, k := range keys {
-		if !isGuarded(k) {
+		timed, allocd := isGuarded(k), isAllocGuarded(k)
+		if !timed && !allocd {
 			continue
 		}
 		b := base.Benchmarks[k]
@@ -105,18 +127,36 @@ func main() {
 			failures++
 			continue
 		}
-		checked++
-		ratio := c.NsPerOp/b.NsPerOp - 1
-		verdict := "ok  "
-		if ratio > *threshold {
-			verdict = "FAIL"
-			failures++
+		if timed {
+			checked++
+			ratio := c.NsPerOp/b.NsPerOp - 1
+			verdict := "ok  "
+			if ratio > *threshold {
+				verdict = "FAIL"
+				failures++
+			}
+			fmt.Printf("%s  %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+				verdict, k, b.NsPerOp, c.NsPerOp, 100*ratio)
 		}
-		fmt.Printf("%s  %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
-			verdict, k, b.NsPerOp, c.NsPerOp, 100*ratio)
+		if allocd {
+			if b.AllocsPerOp == 0 || c.AllocsPerOp == 0 {
+				fmt.Printf("FAIL  %-60s allocs/op missing (run the benchmark with -benchmem or ReportAllocs)\n", k)
+				failures++
+				continue
+			}
+			checked++
+			ratio := c.AllocsPerOp/b.AllocsPerOp - 1
+			verdict := "ok  "
+			if ratio > *allocThreshold {
+				verdict = "FAIL"
+				failures++
+			}
+			fmt.Printf("%s  %-60s %12.0f -> %12.0f allocs/op  (%+.1f%%)\n",
+				verdict, k, b.AllocsPerOp, c.AllocsPerOp, 100*ratio)
+		}
 	}
 	for k := range cur.Benchmarks {
-		if isGuarded(k) {
+		if isGuarded(k) || isAllocGuarded(k) {
 			if _, ok := base.Benchmarks[k]; !ok {
 				fmt.Printf("note  %-60s new guarded benchmark, not in baseline\n", k)
 			}

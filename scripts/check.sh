@@ -29,6 +29,13 @@ go run ./scripts/servesmoke
 # drill. See scripts/gendrill.
 go run ./scripts/gendrill
 
+# Streamed-corpus crash drill: SIGKILL a real `gendata -import-dir`
+# bulk ingest mid-flight, resume it to a byte-identical sharded store,
+# then corrupt shards and require train + experiments to complete on
+# salvage (quarantine + salvage.json) instead of aborting. See
+# scripts/corpusdrill.
+go run ./scripts/corpusdrill
+
 # Cluster chaos drill: router + three replicas + heavy-tailed load,
 # SIGKILL one replica mid-run, require >= 99% success and router
 # reconvergence after the victim restarts. See scripts/clusterdrill.

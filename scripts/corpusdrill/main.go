@@ -1,0 +1,292 @@
+// Command corpusdrill is the CI crash drill for the streamed corpus
+// layer (wired into scripts/check.sh / make check). The in-process
+// tests prove the store and ingester invariants under cooperative
+// faults; this drill proves them against the real binaries:
+//
+//  1. fixture: a MatrixMarket tree (nested dirs, one byte-identical
+//     duplicate, one malformed file) written from the synthetic
+//     generators;
+//  2. reference run: `gendata -import-dir` ingests it uninterrupted
+//     into a sharded store, checksummed file by file;
+//  3. kill run: the same ingest, slowed by the dataset.label.stall
+//     fault, SIGKILLed once at least two shards have been published;
+//  4. resume run: `gendata -import-dir -resume` must exit 0, pick up
+//     at the journaled walk position (not start over), and produce a
+//     store byte-identical to the reference — shard files, manifest
+//     and dedup index alike;
+//  5. corruption run: with one shard deliberately bit-flipped, both
+//     `train -dataset-in <store>` and `experiments -run heldout` must
+//     complete, quarantining the damaged original and writing
+//     salvage.json rather than aborting.
+//
+// With -dir the drill artifacts (the store, salvage.json, the
+// quarantine directory, the held-out report) are kept there so CI can
+// upload the salvage evidence; by default a temp dir is used and
+// removed.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+func main() {
+	dir := flag.String("dir", "", "keep drill artifacts in this directory (default: temp dir, removed)")
+	flag.Parse()
+	if err := run(*dir); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusdrill: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("corpusdrill: PASS")
+}
+
+func run(dir string) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "corpusdrill")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	step("building cmd/gendata, cmd/train, cmd/experiments")
+	bins := map[string]string{}
+	for _, name := range []string{"gendata", "train", "experiments"} {
+		bin := filepath.Join(dir, name)
+		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput(); err != nil {
+			return fmt.Errorf("go build ./cmd/%s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	step("writing the MatrixMarket fixture tree")
+	src := filepath.Join(dir, "mtx")
+	if err := writeFixtureTree(src); err != nil {
+		return err
+	}
+
+	common := []string{"-import-dir", src, "-shard-size", "4", "-seed", "7"}
+
+	// 2. Uninterrupted reference ingest — the bytes every other run
+	// must reproduce.
+	step("reference ingest (uninterrupted)")
+	refStore := filepath.Join(dir, "ref.store")
+	out, err := runCmd(bins["gendata"], nil, append(common, "-store", refStore)...)
+	if err != nil {
+		return fmt.Errorf("reference ingest: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "1 files quarantined") {
+		return fmt.Errorf("the malformed fixture was not quarantined:\n%s", out)
+	}
+	if !strings.Contains(out, "1 dupes skipped") {
+		return fmt.Errorf("the duplicate fixture was not deduped:\n%s", out)
+	}
+
+	// 3. Ingest again, slowed per file, SIGKILLed mid-run.
+	step("ingest with SIGKILL after >= 2 published shards")
+	liveStore := filepath.Join(dir, "live.store")
+	var killOut strings.Builder
+	kill := exec.Command(bins["gendata"], append(append([]string{}, common...), "-store", liveStore)...)
+	kill.Stdout, kill.Stderr = &killOut, &killOut
+	kill.Env = append(os.Environ(), "GENDATA_FAULT_INJECT=dataset.label.stall@40ms")
+	if err := kill.Start(); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- kill.Wait() }()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		shards, _ := filepath.Glob(filepath.Join(liveStore, "corpus-0*.bin"))
+		if len(shards) >= 2 {
+			break
+		}
+		select {
+		case err := <-exited:
+			return fmt.Errorf("ingest exited (%v) before it could be killed; increase the stall delay\n%s", err, killOut.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			kill.Process.Kill()
+			<-exited
+			return fmt.Errorf("no shards published within 60s\n%s", killOut.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := kill.Process.Kill(); err != nil {
+		return fmt.Errorf("kill -9: %v", err)
+	}
+	if err := <-exited; err == nil {
+		return fmt.Errorf("killed ingest exited cleanly — the kill landed too late to mean anything")
+	}
+	shards, _ := filepath.Glob(filepath.Join(liveStore, "corpus-0*.bin"))
+	fmt.Printf("corpusdrill: killed with %d shards published\n", len(shards))
+
+	// 4. Resume. Must pick up at the journaled position and converge on
+	// the reference bytes.
+	step("resume after kill")
+	out, err = runCmd(bins["gendata"], nil, append(common, "-store", liveStore, "-resume")...)
+	if err != nil {
+		return fmt.Errorf("resume: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "resuming ingest at file ") {
+		return fmt.Errorf("resume started over instead of picking up the journal:\n%s", out)
+	}
+	if err := compareStores(refStore, liveStore); err != nil {
+		return fmt.Errorf("resumed store diverged from the uninterrupted one: %v", err)
+	}
+	fmt.Println("corpusdrill: resumed store is byte-identical to the reference")
+
+	// 5. Corrupt a shard, then require training and the held-out
+	// evaluation to survive on salvage rather than abort.
+	step("corrupting one shard, training through salvage")
+	if err := flipShardByte(filepath.Join(liveStore, "corpus-00001.bin")); err != nil {
+		return err
+	}
+	model := filepath.Join(dir, "model.gob")
+	out, err = runCmd(bins["train"], nil,
+		"-dataset-in", liveStore, "-out", model,
+		"-epochs", "2", "-repsize", "16", "-repbins", "8", "-seed", "7")
+	if err != nil {
+		return fmt.Errorf("train over a corrupt store aborted: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(liveStore, "salvage.json")); err != nil {
+		return fmt.Errorf("salvage report not written: %v", err)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(liveStore, "quarantine", "*.corrupt"))
+	if len(quarantined) == 0 {
+		return fmt.Errorf("corrupt shard original was not quarantined")
+	}
+
+	step("corrupting another shard, held-out evaluation through salvage")
+	if err := flipShardByte(filepath.Join(liveStore, "corpus-00002.bin")); err != nil {
+		return err
+	}
+	report := filepath.Join(dir, "heldout.json")
+	out, err = runCmd(bins["experiments"], nil,
+		"-run", "heldout", "-dataset", liveStore, "-model", model, "-report", report, "-seed", "7")
+	if err != nil {
+		return fmt.Errorf("heldout evaluation over a corrupt store aborted: %v\n%s", err, out)
+	}
+	var rep struct {
+		Records  int     `json:"records"`
+		Accuracy float64 `json:"accuracy"`
+		Salvaged bool    `json:"salvaged"`
+	}
+	rb, err := os.ReadFile(report)
+	if err != nil {
+		return fmt.Errorf("held-out report: %v", err)
+	}
+	if err := json.Unmarshal(rb, &rep); err != nil {
+		return fmt.Errorf("held-out report unparsable: %v\n%s", err, rb)
+	}
+	if rep.Records == 0 {
+		return fmt.Errorf("held-out report evaluated zero records:\n%s", rb)
+	}
+	if !rep.Salvaged {
+		return fmt.Errorf("held-out report does not record the salvage:\n%s", rb)
+	}
+	fmt.Printf("corpusdrill: held-out evaluation survived salvage (%d records, accuracy %.2f)\n",
+		rep.Records, rep.Accuracy)
+	return nil
+}
+
+// writeFixtureTree lays out the ingest corpus: 60 distinct matrices in
+// nested directories, one byte-identical duplicate under a different
+// name, and one malformed file.
+func writeFixtureTree(dir string) error {
+	if err := os.MkdirAll(filepath.Join(dir, "group1"), 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < 60; i++ {
+		n := 40 + i
+		m := synthgen.Random(n, n, n*8, int64(i+1))
+		name := fmt.Sprintf("m%03d.mtx", i)
+		if i%2 == 0 {
+			name = filepath.Join("group1", name)
+		}
+		if err := sparse.WriteMatrixMarketFile(filepath.Join(dir, name), m); err != nil {
+			return err
+		}
+	}
+	dup := synthgen.Random(43, 43, 43*8, 4)
+	if err := sparse.WriteMatrixMarketFile(filepath.Join(dir, "zz_duplicate.mtx"), dup); err != nil {
+		return err
+	}
+	bad := "%%MatrixMarket matrix coordinate real general\n9 9 4\n1 1 1.0\n2 2"
+	return os.WriteFile(filepath.Join(dir, "broken.mtx"), []byte(bad), 0o644)
+}
+
+// compareStores requires byte-identical shard, manifest and dedup
+// files between two store directories.
+func compareStores(ref, got string) error {
+	names, err := filepath.Glob(filepath.Join(ref, "corpus-0*.bin"))
+	if err != nil || len(names) == 0 {
+		return fmt.Errorf("no shards in %s (%v)", ref, err)
+	}
+	files := []string{"corpus-manifest.bin", "corpus-dedup.bin"}
+	for _, n := range names {
+		files = append(files, filepath.Base(n))
+	}
+	// A resumed store must not hold extra shards either.
+	gotShards, _ := filepath.Glob(filepath.Join(got, "corpus-0*.bin"))
+	if len(gotShards) != len(names) {
+		return fmt.Errorf("%d shards, reference has %d", len(gotShards), len(names))
+	}
+	for _, name := range files {
+		a, err := sha256File(filepath.Join(ref, name))
+		if err != nil {
+			return err
+		}
+		b, err := sha256File(filepath.Join(got, name))
+		if err != nil {
+			return err
+		}
+		if a != b {
+			return fmt.Errorf("%s differs", name)
+		}
+	}
+	return nil
+}
+
+// flipShardByte corrupts one byte inside a shard's payload region.
+func flipShardByte(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < 64 {
+		return fmt.Errorf("%s suspiciously small (%d bytes)", path, len(raw))
+	}
+	raw[len(raw)/2] ^= 0x20
+	return os.WriteFile(path, raw, 0o644)
+}
+
+func step(s string) { fmt.Println("corpusdrill:", s) }
+
+func runCmd(bin string, env []string, args ...string) (string, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func sha256File(path string) ([32]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(b), nil
+}
