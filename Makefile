@@ -65,16 +65,29 @@ fuzz:
 # at the root plus the per-package hot-path benchmarks) and converts
 # the output into BENCH.json for artifact upload and regression gating.
 # benchgate compares BENCH.json against the committed fixed-seed
-# baseline and fails on >25% ns/op regressions on guarded hot paths.
-# The guarded hot paths get extra -count=3 samples; benchjson keeps the
-# fastest run per benchmark, and min-of-N is what makes a 25% gate
-# threshold hold on noisy shared runners.
+# baseline and fails on >25% ns/op regressions (and allocs/op
+# regressions — with a baseline of 0 gated exactly) on guarded hot
+# paths. The guarded hot paths get extra -count=3 samples; benchjson
+# keeps the fastest run per benchmark, and min-of-N is what makes a
+# 25% gate threshold hold on noisy shared runners. -benchmem is
+# mandatory on the guarded run: the alloc columns are part of the gate.
 BENCHTIME ?= 200ms
-GUARDED_PKGS = ./internal/spmv ./internal/tensor ./internal/represent ./internal/serve ./internal/dataset
-GUARDED_BENCH = 'KernelMul|MatMul|Normalize|Predict|ShardIter'
+GUARDED_PKGS = ./internal/spmv ./internal/tensor ./internal/represent ./internal/serve ./internal/dataset ./internal/nn
+GUARDED_BENCH = 'KernelMul|MatMul|Normalize|Predict|ShardIter|Infer32'
 bench:
-	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run=^$$ ./... > BENCH.txt || { cat BENCH.txt; exit 1; }
-	$(GO) test -bench=$(GUARDED_BENCH) -benchtime=$(BENCHTIME) -count=3 -run=^$$ $(GUARDED_PKGS) >> BENCH.txt || { cat BENCH.txt; exit 1; }
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem -run=^$$ ./... > BENCH.txt || { cat BENCH.txt; exit 1; }
+	$(GO) test -bench=$(GUARDED_BENCH) -benchtime=$(BENCHTIME) -benchmem -count=3 -run=^$$ $(GUARDED_PKGS) >> BENCH.txt || { cat BENCH.txt; exit 1; }
+	cat BENCH.txt
+	$(GO) run ./scripts/benchjson -o BENCH.json < BENCH.txt
+
+# bench-guarded runs only the guarded hot-path benchmarks — the set
+# benchgate actually gates — with -benchmem at -count=3 (benchjson
+# keeps the fastest run and the minimum alloc columns). This is what
+# the CI perf job runs: minutes instead of the full harness's hour,
+# tight enough to sit on every pull request.
+.PHONY: bench-guarded
+bench-guarded:
+	$(GO) test -bench=$(GUARDED_BENCH) -benchtime=$(BENCHTIME) -benchmem -count=3 -run=^$$ $(GUARDED_PKGS) > BENCH.txt || { cat BENCH.txt; exit 1; }
 	cat BENCH.txt
 	$(GO) run ./scripts/benchjson -o BENCH.json < BENCH.txt
 

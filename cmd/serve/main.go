@@ -57,6 +57,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/serve"
 	"repro/internal/sparse"
+	"repro/internal/spmv"
 )
 
 func main() {
@@ -86,7 +87,22 @@ func main() {
 	feedbackSegBytes := flag.Int64("feedback-segment-bytes", 1<<20, "feedback log segment size before rotation")
 	feedbackSegAge := flag.Duration("feedback-segment-age", 30*time.Second, "feedback log segment age before rotation")
 	shadowSample := flag.Int("shadow-sample", 8, "mirror every Nth prediction through a loaded shadow model (0 disables)")
+	f32 := flag.Bool("f32-inference", true, "serve predictions from the compiled float32 engine (false = reference float64 path)")
+	spmvTable := flag.String("spmv-table", "", "autotuned SpMV dispatch table JSON (spmvbench -autotune output); empty keeps built-in defaults")
 	flag.Parse()
+
+	if *spmvTable != "" {
+		tab, err := spmv.LoadTableFile(*spmvTable)
+		if err != nil {
+			// The table is a performance cache, never a correctness
+			// dependency: a stale or unreadable file logs and falls back to
+			// the built-in dispatch defaults.
+			fmt.Fprintln(os.Stderr, "serve: spmv table ignored:", err)
+		} else {
+			spmv.Install(tab)
+			fmt.Fprintf(os.Stderr, "serve: spmv dispatch table loaded from %s (%d entries)\n", *spmvTable, len(tab.Entries))
+		}
+	}
 
 	if spec := os.Getenv("SERVE_FAULT_INJECT"); spec != "" {
 		if err := faultinject.Arm(spec); err != nil {
@@ -120,6 +136,7 @@ func main() {
 		FeedbackMaxSegmentBytes: *feedbackSegBytes,
 		FeedbackMaxSegmentAge:   *feedbackSegAge,
 		ShadowSampleN:           *shadowSample,
+		DisableFloat32:          !*f32,
 		Log:                     os.Stderr,
 	})
 	if err != nil {

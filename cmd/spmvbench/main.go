@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sparse"
+	"repro/internal/spmv"
 	"repro/internal/synthgen"
 )
 
@@ -30,7 +31,30 @@ func main() {
 	repeats := flag.Int("repeats", 11, "timing repetitions (MAD-trimmed mean is reported)")
 	warmup := flag.Int("warmup", 2, "untimed warmup iterations per format")
 	timeout := flag.Duration("timeout", 0, "per-format measurement deadline; a format exceeding it is reported as timed out instead of hanging the harness (0 = none)")
+	autotune := flag.Duration("autotune", 0, "run the kernel autotuner with this sweep budget before measuring (0 = built-in dispatch defaults)")
+	tableOut := flag.String("table-out", "", "write the autotuner dispatch table (or the built-in defaults' sweep) to this JSON file")
+	tableIn := flag.String("table", "", "load a previously saved dispatch table instead of sweeping")
 	flag.Parse()
+
+	if *tableIn != "" {
+		tab, err := spmv.LoadTableFile(*tableIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvbench:", err)
+			os.Exit(1)
+		}
+		spmv.Install(tab)
+	}
+	if *autotune > 0 {
+		tab := spmv.AutoTune(*autotune, *seed)
+		fmt.Printf("autotuned %d dispatch cells in %s\n", len(tab.Entries), tab.SweptIn)
+		if *tableOut != "" {
+			if err := spmv.SaveTableFile(*tableOut, tab); err != nil {
+				fmt.Fprintln(os.Stderr, "spmvbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("dispatch table written to %s\n", *tableOut)
+		}
+	}
 
 	var c *sparse.COO
 	var err error

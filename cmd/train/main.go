@@ -43,6 +43,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/represent"
 	"repro/internal/sparse"
+	"repro/internal/spmv"
 )
 
 func main() {
@@ -64,7 +65,19 @@ func main() {
 	resume := flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir")
 	telemetryPath := flag.String("telemetry", "", "per-epoch JSONL telemetry file (loss, accuracy, grad norm, timings; empty disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live training metrics and pprof on this address while the run is active (empty disables)")
+	spmvTable := flag.String("spmv-table", "", "autotuned SpMV dispatch table JSON for -wallclock labeling kernels (empty keeps built-in defaults)")
 	flag.Parse()
+
+	if *spmvTable != "" {
+		// -wallclock labels run the real SpMV kernels; a tuned dispatch
+		// table makes those labels reflect the kernels production serves.
+		tab, err := spmv.LoadTableFile(*spmvTable)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "train: spmv table ignored:", err)
+		} else {
+			spmv.Install(tab)
+		}
+	}
 
 	var kind represent.Kind
 	switch *rep {

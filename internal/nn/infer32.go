@@ -1,0 +1,313 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Infer32 is a compiled float32 inference engine for a Model with the
+// selector's fixed input geometry. Compilation walks the layer stacks
+// once, snapshots all weights as float32, fuses each Conv2D or Dense
+// with a directly following ReLU, drops inference no-ops (Flatten,
+// Dropout), and sizes a reusable scratch arena for the whole forward
+// pass — so Predict performs zero heap allocations and no layer-type
+// dispatch beyond a switch on a precompiled op code.
+//
+// The engine snapshots weights at build time: after further training
+// the owner must rebuild (the selector drops its engine whenever a
+// training entry point runs). Accuracy: float32 carries ~7 decimal
+// digits; class probabilities can drift ~1e-6..1e-4 relative to the
+// float64 path, which can flip the argmax only when the top two
+// classes are closer than the model's own noise floor.
+type Infer32 struct {
+	towers  [][]op32
+	head    []op32
+	towerIn [][3]int // (C,H,W) per tower input
+	featLen []int    // flattened feature size per tower
+	classes int
+	maxVol  int // largest activation volume anywhere in the net
+	maxCol  int // largest im2col matrix
+	featTot int
+
+	scratch sync.Pool // of *scratch32
+}
+
+type opKind uint8
+
+const (
+	opConv opKind = iota
+	opRelu
+	opPool
+	opDense
+)
+
+// op32 is one compiled layer application.
+type op32 struct {
+	kind opKind
+	// conv
+	geom     tensor.ConvGeom
+	outC     int
+	w, b     []float32
+	fuseRelu bool
+	// pool
+	k, stride int
+	// shared shape bookkeeping
+	inC, inH, inW     int
+	outH, outW        int
+	inLen, outLen     int
+	denseIn, denseOut int
+}
+
+type scratch32 struct {
+	in     []float32 // f64→f32 input conversion
+	a, b   []float32 // ping-pong activations
+	col    []float32 // im2col matrix
+	feat   []float32 // concatenated tower features
+	logits []float32
+}
+
+// BuildInfer32 compiles a model for the given per-tower input shapes
+// (each (C,H,W)). It returns an error on any layer type outside the
+// selector's inference set — the caller keeps the float64 path.
+func BuildInfer32(m *Model, inputShapes [][]int) (*Infer32, error) {
+	if m == nil {
+		return nil, fmt.Errorf("nn: BuildInfer32: nil model")
+	}
+	if len(inputShapes) != len(m.Towers) {
+		return nil, fmt.Errorf("nn: BuildInfer32: %d towers, %d input shapes", len(m.Towers), len(inputShapes))
+	}
+	e := &Infer32{classes: -1}
+	featTot := 0
+	for i, tw := range m.Towers {
+		shape := inputShapes[i]
+		if len(shape) != 3 {
+			return nil, fmt.Errorf("nn: BuildInfer32: tower %d input shape %v is not (C,H,W)", i, shape)
+		}
+		ops, outLen, err := e.compileStack(tw, shape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: BuildInfer32: tower %d: %w", i, err)
+		}
+		e.towers = append(e.towers, ops)
+		e.towerIn = append(e.towerIn, [3]int{shape[0], shape[1], shape[2]})
+		e.featLen = append(e.featLen, outLen)
+		featTot += outLen
+	}
+	e.featTot = featTot
+	headOps, headOut, err := e.compileStack(m.Head, []int{featTot})
+	if err != nil {
+		return nil, fmt.Errorf("nn: BuildInfer32: head: %w", err)
+	}
+	e.head = headOps
+	e.classes = headOut
+	if featTot > e.maxVol {
+		e.maxVol = featTot
+	}
+	e.scratch.New = func() any {
+		return &scratch32{
+			in:     make([]float32, e.maxVol),
+			a:      make([]float32, e.maxVol),
+			b:      make([]float32, e.maxVol),
+			col:    make([]float32, e.maxCol),
+			feat:   make([]float32, e.featTot),
+			logits: make([]float32, e.classes),
+		}
+	}
+	return e, nil
+}
+
+// compileStack lowers one layer stack, fusing ReLUs into a preceding
+// Conv2D/Dense and dropping Flatten and Dropout. It returns the
+// compiled ops and the flattened output size.
+func (e *Infer32) compileStack(layers []Layer, shape []int) ([]op32, int, error) {
+	var ops []op32
+	note := func(vol int) {
+		if vol > e.maxVol {
+			e.maxVol = vol
+		}
+	}
+	note(volume(shape))
+	for li := 0; li < len(layers); li++ {
+		switch l := layers[li].(type) {
+		case *Conv2D:
+			if len(shape) != 3 {
+				return nil, 0, fmt.Errorf("%s on non-(C,H,W) input %v", l.Name(), shape)
+			}
+			g := l.geom(shape)
+			if err := g.Validate(); err != nil {
+				return nil, 0, err
+			}
+			op := op32{
+				kind: opConv, geom: g, outC: l.OutC,
+				w: toF32(l.W.Value.Data()), b: toF32(l.B.Value.Data()),
+				outH: g.OutH(), outW: g.OutW(),
+			}
+			op.outLen = l.OutC * op.outH * op.outW
+			colLen := g.InC * g.KH * g.KW * op.outH * op.outW
+			if colLen > e.maxCol {
+				e.maxCol = colLen
+			}
+			if li+1 < len(layers) {
+				if _, isRelu := layers[li+1].(*ReLU); isRelu {
+					op.fuseRelu = true
+					li++
+				}
+			}
+			shape = []int{l.OutC, op.outH, op.outW}
+			note(op.outLen)
+			ops = append(ops, op)
+		case *MaxPool2D:
+			if len(shape) != 3 {
+				return nil, 0, fmt.Errorf("%s on non-(C,H,W) input %v", l.Name(), shape)
+			}
+			os := l.OutShape(shape)
+			op := op32{
+				kind: opPool, k: l.K, stride: l.Stride,
+				inC: shape[0], inH: shape[1], inW: shape[2],
+				outH: os[1], outW: os[2],
+				outLen: volume(os),
+			}
+			shape = os
+			note(op.outLen)
+			ops = append(ops, op)
+		case *Dense:
+			if volume(shape) != l.In {
+				return nil, 0, fmt.Errorf("%s got %d inputs", l.Name(), volume(shape))
+			}
+			op := op32{
+				kind: opDense, denseIn: l.In, denseOut: l.Out,
+				w: toF32(l.W.Value.Data()), b: toF32(l.B.Value.Data()),
+				outLen: l.Out,
+			}
+			if li+1 < len(layers) {
+				if _, isRelu := layers[li+1].(*ReLU); isRelu {
+					op.fuseRelu = true
+					li++
+				}
+			}
+			shape = []int{l.Out}
+			note(l.Out)
+			ops = append(ops, op)
+		case *ReLU:
+			ops = append(ops, op32{kind: opRelu, outLen: volume(shape)})
+		case *Flatten:
+			shape = []int{volume(shape)}
+		case *Dropout:
+			// Identity at inference.
+		default:
+			return nil, 0, fmt.Errorf("unsupported inference layer %s", l.Name())
+		}
+	}
+	return ops, volume(shape), nil
+}
+
+func toF32(src []float64) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
+// Classes returns the number of output classes.
+func (e *Infer32) Classes() int { return e.classes }
+
+// Predict runs the compiled forward pass on the tower inputs and
+// writes softmax probabilities into probs (len must equal Classes()),
+// returning the argmax class. It allocates nothing: scratch comes from
+// an internal pool, so concurrent callers each get their own arena.
+func (e *Infer32) Predict(inputs []*tensor.Tensor, probs []float64) (int, error) {
+	if len(inputs) != len(e.towers) {
+		return 0, fmt.Errorf("nn: Infer32: %d towers, got %d inputs", len(e.towers), len(inputs))
+	}
+	if len(probs) != e.classes {
+		return 0, fmt.Errorf("nn: Infer32: probs buffer has %d slots, want %d", len(probs), e.classes)
+	}
+	s := e.scratch.Get().(*scratch32)
+	defer e.scratch.Put(s)
+	off := 0
+	for ti, ops := range e.towers {
+		in := inputs[ti]
+		want := e.towerIn[ti]
+		if in.Size() != want[0]*want[1]*want[2] {
+			return 0, fmt.Errorf("nn: Infer32: tower %d input has %d elements, want %dx%dx%d",
+				ti, in.Size(), want[0], want[1], want[2])
+		}
+		src := in.Data()
+		cur := s.in[:len(src)]
+		for i, v := range src {
+			cur[i] = float32(v)
+		}
+		cur = e.runOps(ops, cur, s)
+		copy(s.feat[off:off+e.featLen[ti]], cur)
+		off += e.featLen[ti]
+	}
+	logits := e.runOps(e.head, s.feat[:e.featTot], s)
+	copy(s.logits, logits)
+	return softmaxInto(probs, s.logits), nil
+}
+
+// runOps executes a compiled stack, ping-ponging between the scratch
+// activation buffers; in-place ops (ReLU) reuse the current buffer.
+func (e *Infer32) runOps(ops []op32, cur []float32, s *scratch32) []float32 {
+	for oi := range ops {
+		op := &ops[oi]
+		switch op.kind {
+		case opConv:
+			g := op.geom
+			tensor.Im2ColF32(s.col, cur, g)
+			nxt := e.next(cur, s)[:op.outLen]
+			n := op.outH * op.outW
+			tensor.ConvMatMulF32(nxt, op.w, s.col, op.outC, g.InC*g.KH*g.KW, n, op.b, op.fuseRelu)
+			cur = nxt
+		case opPool:
+			nxt := e.next(cur, s)[:op.outLen]
+			tensor.MaxPool2DF32(nxt, cur, op.inC, op.inH, op.inW, op.k, op.stride, op.outH, op.outW)
+			cur = nxt
+		case opDense:
+			nxt := e.next(cur, s)[:op.denseOut]
+			tensor.DenseF32(nxt, op.w, cur, op.b, op.denseOut, op.denseIn, op.fuseRelu)
+			cur = nxt
+		case opRelu:
+			for i, v := range cur {
+				if v < 0 {
+					cur[i] = 0
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// next picks the ping-pong buffer that cur does not live in. cur may
+// also be the conversion or feature buffer, in which case either works.
+func (e *Infer32) next(cur []float32, s *scratch32) []float32 {
+	if len(cur) > 0 && len(s.a) > 0 && &cur[0] == &s.a[0] {
+		return s.b
+	}
+	return s.a
+}
+
+// softmaxInto computes a numerically stable softmax of the float32
+// logits into the float64 probs buffer and returns the argmax.
+func softmaxInto(probs []float64, logits []float32) int {
+	best := 0
+	maxV := logits[0]
+	for i, v := range logits {
+		if v > maxV {
+			maxV, best = v, i
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		p := math.Exp(float64(v - maxV))
+		probs[i] = p
+		sum += p
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return best
+}

@@ -1,0 +1,33 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkInfer32Predict is the CI-gated benchmark for the compiled
+// float32 forward pass. Its allocs/op baseline is 0 and scripts/
+// benchgate enforces that as an exact contract (not a ratio): any
+// allocation creeping into Predict fails the gate. ReportAllocs makes
+// the column appear even without -benchmem, so the gate can never be
+// starved of data by a harness flag change.
+func BenchmarkInfer32Predict(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m, shapes := testModel32(rng)
+	e, err := BuildInfer32(m, shapes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := randInputs(rng, shapes)
+	probs := make([]float64, e.Classes())
+	if _, err := e.Predict(ins, probs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Predict(ins, probs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

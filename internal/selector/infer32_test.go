@@ -1,0 +1,92 @@
+package selector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/represent"
+	"repro/internal/sparse"
+	"repro/internal/synthgen"
+)
+
+// TestPredictFloat32MatchesFloat64 routes the same matrix through the
+// compiled float32 engine (the default) and the reference float64 path
+// and requires agreeing formats and probabilities to f32 precision.
+func TestPredictFloat32MatchesFloat64(t *testing.T) {
+	cfg := DefaultConfig(represent.KindHistogram, sparse.CPUFormats())
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		m := synthgen.Banded(64+trial*37, 3, 1.0, int64(trial))
+		f32Fmt, f32Probs, err := s.Predict(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.inf32.Load() == nil {
+			t.Fatal("Predict did not build the float32 engine")
+		}
+		s.SetFloat32(false)
+		f64Fmt, f64Probs, err := s.Predict(m)
+		s.SetFloat32(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f, p := range f64Probs {
+			if diff := math.Abs(f32Probs[f] - p); diff > 1e-4 {
+				t.Fatalf("trial %d: P(%v) = %g (f32) vs %g (f64)", trial, f, f32Probs[f], p)
+			}
+		}
+		if f32Fmt != f64Fmt && probMargin(f64Probs) > 1e-4 {
+			t.Fatalf("trial %d: format %v (f32) vs %v (f64)", trial, f32Fmt, f64Fmt)
+		}
+	}
+}
+
+func probMargin(probs map[sparse.Format]float64) float64 {
+	best, second := math.Inf(-1), math.Inf(-1)
+	for _, p := range probs {
+		if p > best {
+			best, second = p, best
+		} else if p > second {
+			second = p
+		}
+	}
+	return best - second
+}
+
+// TestFloat32EngineInvalidatedByTraining ensures a stale engine cannot
+// serve predictions from pre-training weights.
+func TestFloat32EngineInvalidatedByTraining(t *testing.T) {
+	d := cpuDataset(t, 12)
+	cfg := DefaultConfig(represent.KindHistogram, sparse.CPUFormats())
+	cfg.Epochs = 1
+	cfg.BatchSize = 4
+	cfg.Workers = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := synthgen.Banded(96, 3, 1.0, 4)
+	if _, _, err := s.Predict(m); err != nil {
+		t.Fatal(err)
+	}
+	before := s.inf32.Load()
+	if before == nil {
+		t.Fatal("engine not built by Predict")
+	}
+	if _, err := s.Train(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.inf32.Load() != nil {
+		t.Fatal("training did not invalidate the float32 engine")
+	}
+	if _, _, err := s.Predict(m); err != nil {
+		t.Fatal(err)
+	}
+	after := s.inf32.Load()
+	if after == nil || after == before {
+		t.Fatal("Predict after training did not rebuild the engine")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
@@ -44,7 +45,46 @@ type Selector struct {
 	// outside the serialised artifact): telemetry wiring is per-process
 	// state, not part of the model.
 	epochHook func(nn.EpochStats)
+
+	// inf32 caches the compiled float32 inference engine, built lazily
+	// on first Predict and dropped whenever a training entry point runs
+	// (the engine snapshots weights). f32off latches the engine off:
+	// either the model contains a layer the engine cannot compile, or
+	// the operator disabled it via SetFloat32(false).
+	inf32  atomic.Pointer[nn.Infer32]
+	f32off atomic.Bool
 }
+
+// SetFloat32 enables or disables the compiled float32 inference engine
+// (enabled by default). Disabling forces every Predict through the
+// reference float64 path; re-enabling rebuilds the engine lazily.
+func (s *Selector) SetFloat32(enabled bool) {
+	s.f32off.Store(!enabled)
+	s.inf32.Store(nil)
+}
+
+// engine32 returns the compiled engine, building it on first use. A
+// build failure (unsupported layer type) latches the float64 path — it
+// would fail identically every time.
+func (s *Selector) engine32() *nn.Infer32 {
+	if s.f32off.Load() {
+		return nil
+	}
+	if e := s.inf32.Load(); e != nil {
+		return e
+	}
+	e, err := nn.BuildInfer32(s.Model, InputShapes(s.Cfg))
+	if err != nil {
+		s.f32off.Store(true)
+		return nil
+	}
+	s.inf32.Store(e)
+	return e
+}
+
+// invalidate32 drops the compiled engine after weight mutation; the
+// next Predict rebuilds it from the new weights.
+func (s *Selector) invalidate32() { s.inf32.Store(nil) }
 
 // SetEpochHook installs (or clears, with nil) a per-epoch telemetry
 // observer for subsequent training runs. The hook runs on the training
@@ -124,7 +164,17 @@ func (s *Selector) Predict(m *sparse.COO) (f sparse.Format, probs map[sparse.For
 	if err != nil {
 		return 0, nil, err
 	}
-	cls, ps := s.Model.Predict(inputs)
+	var cls int
+	var ps []float64
+	if e := s.engine32(); e != nil {
+		buf := make([]float64, e.Classes())
+		if c, ferr := e.Predict(inputs, buf); ferr == nil {
+			cls, ps = c, buf
+		}
+	}
+	if ps == nil {
+		cls, ps = s.Model.Predict(inputs)
+	}
 	out := make(map[sparse.Format]float64, len(ps))
 	for i, p := range ps {
 		if math.IsNaN(p) || math.IsInf(p, 0) {
@@ -279,6 +329,7 @@ func (s *Selector) TrainSamplesCtx(ctx context.Context, samples []nn.Sample, cp 
 		return nil, err
 	}
 	decayed := resume != nil && resume.Epoch >= decayEpoch
+	defer s.invalidate32()
 	return tr.Run(ctx, samples, nn.RunOpts{
 		Epochs:       s.Cfg.Epochs,
 		Checkpointer: cp,
@@ -298,6 +349,7 @@ func (s *Selector) TrainSamplesCtx(ctx context.Context, samples []nn.Sample, cp 
 // TrainSteps runs exactly n minibatch steps and returns per-step losses
 // — the Figure 11 convergence curves.
 func (s *Selector) TrainSteps(samples []nn.Sample, n int) ([]float64, error) {
+	defer s.invalidate32()
 	return s.newTrainer().TrainSteps(samples, n)
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	runtimemetrics "runtime/metrics"
 	"sync"
 	"time"
 
@@ -146,6 +147,7 @@ func (s *Server) runBatch(batch []*job) {
 		j.tr.ObserveSpan("queue", j.enqueued)
 	}
 
+	allocStart := heapAllocObjects()
 	var mirrored []shadowSample
 	for _, j := range batch {
 		rungStart := time.Now()
@@ -176,7 +178,21 @@ func (s *Server) runBatch(batch []*job) {
 			mirrored = append(mirrored, shadowSample{m: j.m, live: pred, liveNs: liveNs})
 		}
 	}
+	// Allocation pressure per job: a process-wide heap-objects delta over
+	// the batch, not a per-goroutine count — concurrent batches and GC
+	// background work inflate it, so it is a trend gauge, not an exact
+	// figure (the exact figure is pinned by the benchgate allocs/op gate).
+	s.met.predictAllocs.Set(float64(heapAllocObjects()-allocStart) / float64(len(batch)))
 	s.mirrorShadow(mirrored)
+}
+
+// heapAllocObjects reads the runtime's cumulative allocated-objects
+// counter; the [1]Sample array stays on the stack, so sampling itself
+// allocates nothing.
+func heapAllocObjects() uint64 {
+	s := [1]runtimemetrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	runtimemetrics.Read(s[:])
+	return s[0].Value.Uint64()
 }
 
 func (s *Server) answerAll(jobs []*job, res jobResult) {

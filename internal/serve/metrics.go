@@ -53,6 +53,7 @@ type metrics struct {
 	batches        *obs.Counter
 	batchJobs      *obs.Counter
 	batchSize      *obs.Histogram
+	predictAllocs  *obs.Gauge // heap objects allocated per predict job, last batch
 	queueRejects   *obs.Counter
 	reloads        *obs.Counter
 	reloadFails    *obs.Counter
@@ -110,6 +111,7 @@ func newMetrics() *metrics {
 	m.batches = r.Counter("serve_batches_total", "Micro-batches dispatched to the worker pool.")
 	m.batchJobs = r.Counter("serve_batch_jobs_total", "Prediction jobs processed through batches.")
 	m.batchSize = r.Histogram("serve_batch_size", "Jobs coalesced per micro-batch.", obs.DefBatchBuckets())
+	m.predictAllocs = r.Gauge("serve_predict_allocs", "Heap objects allocated per predict job over the most recent micro-batch (process-wide delta: concurrent batches and background work inflate it).")
 	m.queueRejects = r.Counter("serve_queue_rejects_total", "Requests rejected because the batch queue was full.")
 
 	m.shadowLoaded = r.Gauge("serve_shadow_loaded", "1 while a shadow model is installed for mirrored inference.")

@@ -76,6 +76,26 @@ func TestMetricsNameSuperset(t *testing.T) {
 	}
 }
 
+// TestPredictAllocsGauge asserts the per-job allocation gauge is
+// exposed and populated after a batch runs.
+func TestPredictAllocsGauge(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postPredict(t, ts, matrixJSON(16, 1), "application/json")
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "# TYPE serve_predict_allocs gauge") {
+		t.Fatal("serve_predict_allocs missing from /metrics")
+	}
+}
+
 // traceResponse decodes a predict response including the trace block.
 func traceResponse(t *testing.T, ts *httptest.Server, body []byte) (string, response) {
 	t.Helper()

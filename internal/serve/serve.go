@@ -120,6 +120,11 @@ type Config struct {
 	// shadow model (see shadow.go); 0 disables mirroring, 1 mirrors
 	// everything.
 	ShadowSampleN int
+	// DisableFloat32 forces every CNN inference through the reference
+	// float64 path instead of the compiled float32 engine. The engine is
+	// the default; this is the operator escape hatch for bit-exact
+	// comparison against offline float64 evaluation.
+	DisableFloat32 bool
 	// Log receives operational lines (nil = silent).
 	Log io.Writer
 }

@@ -1,0 +1,300 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+// adversarialCOOs builds matrices that stress the unrolled bodies'
+// edge handling: empty rows (the unroll must not read past RowPtr),
+// a single dense row (long scalar tails and accumulator merges), an
+// ELL-overflow shape (one row far wider than the rest, maximal
+// padding), tiny matrices below every unroll width, and matrices whose
+// dimensions are not multiples of the BSR block edge.
+func adversarialCOOs(t *testing.T) map[string]*sparse.COO {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	out := map[string]*sparse.COO{}
+
+	// Every other row empty.
+	var es []sparse.Entry
+	for i := 0; i < 64; i += 2 {
+		for k := 0; k < 5; k++ {
+			es = append(es, sparse.Entry{Row: i, Col: rng.Intn(64), Val: rng.NormFloat64() + 0.1})
+		}
+	}
+	out["empty-rows"] = mustCOO(t, 64, 64, es)
+
+	// One dense row, everything else near-empty.
+	es = nil
+	for j := 0; j < 96; j++ {
+		es = append(es, sparse.Entry{Row: 3, Col: j, Val: float64(j%7) + 0.5})
+	}
+	es = append(es, sparse.Entry{Row: 90, Col: 1, Val: 2.5})
+	out["single-dense-row"] = mustCOO(t, 96, 96, es)
+
+	// ELL overflow: one row of width 40 forces Width=40 with ~39 pad
+	// slots on typical rows — the group-unrolled sentinel checks run on
+	// nearly all-padding rows.
+	es = nil
+	for j := 0; j < 40; j++ {
+		es = append(es, sparse.Entry{Row: 0, Col: j, Val: 1.0 / float64(j+1)})
+	}
+	for i := 1; i < 48; i++ {
+		es = append(es, sparse.Entry{Row: i, Col: rng.Intn(48), Val: rng.NormFloat64()})
+	}
+	out["ell-overflow"] = mustCOO(t, 48, 48, es)
+
+	// Smaller than any unroll width.
+	out["tiny"] = mustCOO(t, 3, 3, []sparse.Entry{
+		{Row: 0, Col: 2, Val: 1}, {Row: 2, Col: 0, Val: -3}, {Row: 2, Col: 2, Val: 0.5},
+	})
+
+	// Dims not multiples of the BSR block edge: partial block rows AND
+	// partial block columns exercise the microkernel fallbacks.
+	es = nil
+	for k := 0; k < 300; k++ {
+		es = append(es, sparse.Entry{Row: rng.Intn(61), Col: rng.Intn(61), Val: rng.NormFloat64() + 0.1})
+	}
+	out["ragged-61"] = mustCOO(t, 61, 61, es)
+
+	// General random matrix spanning several cache lines.
+	out["random-512"] = randomCOO(rng, 512, 512, 512*6)
+	return out
+}
+
+func mustCOO(t *testing.T, rows, cols int, es []sparse.Entry) *sparse.COO {
+	t.Helper()
+	c, err := sparse.NewCOO(rows, cols, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTunedVariantsMatchReference checks every variant of every tuned
+// format against the reference body on the adversarial shapes. Unrolled
+// bodies reassociate the per-row sums, so comparison is to a relative
+// tolerance, not bit equality.
+func TestTunedVariantsMatchReference(t *testing.T) {
+	for name, c := range adversarialCOOs(t) {
+		for _, f := range tunedFormats {
+			m, err := sparse.Convert(c, f)
+			if err != nil {
+				t.Fatalf("%s: convert to %v: %v", name, f, err)
+			}
+			rows, cols := m.Dims()
+			x := make([]float64, cols)
+			for i := range x {
+				x[i] = math.Sin(float64(i)) + 1.5
+			}
+			want := make([]float64, rows)
+			mulVariant(f, variantRef, want, m, x)
+			for v := variantRef + 1; v < numVariants; v++ {
+				got := make([]float64, rows)
+				for i := range got {
+					got[i] = math.NaN() // a skipped row must be caught, not masked by zero
+				}
+				// The bodies accumulate into y without zeroing rows they do
+				// not own... except they do set y[i]; seed NaN to prove it.
+				mulVariant(f, v, got, m, x)
+				for i := range want {
+					if diff := math.Abs(got[i] - want[i]); diff > 1e-9*(1+math.Abs(want[i])) {
+						t.Fatalf("%s/%v/%v: y[%d] = %g, reference %g", name, f, v, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelMulUsesTable checks the public Mul path honours an
+// installed table and that restoring defaults un-installs it.
+func TestKernelMulUsesTable(t *testing.T) {
+	defer Install(nil)
+	c := randomCOO(rand.New(rand.NewSource(11)), 256, 256, 2048)
+	for _, f := range tunedFormats {
+		m := sparse.MustConvert(c, f)
+		rows, cols := m.Dims()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = float64(i%9) - 4
+		}
+		want := make([]float64, rows)
+		mulVariant(f, variantRef, want, m, x)
+		for v := variantRef; v < numVariants; v++ {
+			tab := &Table{Version: TableVersion, Entries: map[string]Entry{}}
+			for b := minBucket; b <= maxBucket; b++ {
+				tab.Entries[f.String()+"/"+itoa(b)] = Entry{Variant: v.String()}
+			}
+			Install(tab)
+			got := make([]float64, rows)
+			Mul(got, m, x, 1)
+			for i := range want {
+				if diff := math.Abs(got[i] - want[i]); diff > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("%v via table variant %v: y[%d] = %g, want %g", f, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestSweepDeterministic runs the sweep twice with the same seed and a
+// deterministic cost model and requires identical tables — the property
+// that makes a persisted table reproducible in CI.
+func TestSweepDeterministic(t *testing.T) {
+	// Cost model: prefer unroll8 for big buckets, unroll4 otherwise;
+	// deterministic in (format, bucket, variant) only.
+	cost := func(f sparse.Format, bucket int, v variant, run func()) time.Duration {
+		run() // keep the real workload executing — it must not panic
+		base := time.Duration(1000 - 10*int(f) - bucket)
+		switch {
+		case v == variantUnroll8 && bucket >= 14:
+			return base / 4
+		case v == variantUnroll4:
+			return base / 2
+		default:
+			return base
+		}
+	}
+	opts := SweepOpts{Seed: 42, Buckets: []int{10, 14}, measure: cost}
+	t1 := Sweep(opts)
+	t2 := Sweep(opts)
+	if len(t1.Entries) != len(t2.Entries) || len(t1.Entries) == 0 {
+		t.Fatalf("sweep entry counts differ or empty: %d vs %d", len(t1.Entries), len(t2.Entries))
+	}
+	for k, e1 := range t1.Entries {
+		e2, ok := t2.Entries[k]
+		if !ok || e1 != e2 {
+			t.Fatalf("sweep not deterministic at %s: %+v vs %+v", k, e1, e2)
+		}
+	}
+	// The cost model's winners must actually be selected.
+	for _, f := range tunedFormats {
+		if got := t1.Entries[f.String()+"/10"].Variant; got != "unroll4" {
+			t.Errorf("%v/10: got %s, cost model says unroll4", f, got)
+		}
+		if got := t1.Entries[f.String()+"/14"].Variant; got != "unroll8" {
+			t.Errorf("%v/14: got %s, cost model says unroll8", f, got)
+		}
+	}
+}
+
+// TestSweepRealTimings smoke-tests the wall-clock path end to end on a
+// tiny budget: it must terminate, produce valid variants, and install.
+func TestSweepRealTimings(t *testing.T) {
+	defer Install(nil)
+	tab := AutoTune(200*time.Millisecond, 1)
+	if len(tab.Entries) == 0 {
+		t.Fatal("budgeted sweep produced no entries")
+	}
+	for k, e := range tab.Entries {
+		if v := parseVariant(e.Variant); v.String() != e.Variant {
+			t.Errorf("%s: unknown variant %q persisted", k, e.Variant)
+		}
+	}
+}
+
+// TestTableRoundTrip persists a swept table and loads it back.
+func TestTableRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spmv-table.json")
+	tab := Sweep(SweepOpts{Seed: 3, Buckets: []int{10}, Tiles: []int{64, 256},
+		measure: func(f sparse.Format, bucket int, v variant, run func()) time.Duration {
+			return time.Duration(int(v) + 1)
+		}})
+	if err := SaveTableFile(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTableFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != TableVersion || len(got.Entries) != len(tab.Entries) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, tab)
+	}
+	for k, e := range tab.Entries {
+		if got.Entries[k] != e {
+			t.Fatalf("entry %s: %+v != %+v", k, got.Entries[k], e)
+		}
+		if e.Tile == 0 {
+			t.Errorf("entry %s: tile candidates given but none recorded", k)
+		}
+	}
+}
+
+// TestLoadTableRejectsVersionMismatch ensures stale tables fail loudly.
+func TestLoadTableRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.json")
+	tab := &Table{Version: TableVersion + 1, Entries: map[string]Entry{"CSR/10": {Variant: "ref"}}}
+	if err := SaveTableFile(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTableFile(path); err == nil {
+		t.Fatal("version-mismatched table loaded without error")
+	}
+}
+
+// TestCompileIgnoresGarbageKeys: unknown formats, malformed buckets and
+// unknown variant names must degrade to defaults, never panic.
+func TestCompileIgnoresGarbageKeys(t *testing.T) {
+	defer Install(nil)
+	Install(&Table{Version: TableVersion, Entries: map[string]Entry{
+		"NOPE/10":  {Variant: "unroll4"},
+		"CSR/zzz":  {Variant: "unroll4"},
+		"CSR/9999": {Variant: "unroll4"},
+		"CSR":      {Variant: "unroll4"},
+		"CSR/12":   {Variant: "never-heard-of-it"},
+		"ELL/-4":   {Variant: "unroll4"},
+		"BSR/10":   {Variant: "unroll8", Tile: 32},
+	}})
+	c := randomCOO(rand.New(rand.NewSource(5)), 128, 128, 1024)
+	for _, f := range tunedFormats {
+		m := sparse.MustConvert(c, f)
+		rows, cols := m.Dims()
+		Mul(make([]float64, rows), m, make([]float64, cols), 1)
+	}
+}
+
+// TestParallelRowsTiled checks the tile-claiming partition covers every
+// row exactly once, for tiles that divide rows and tiles that do not.
+func TestParallelRowsTiled(t *testing.T) {
+	for _, tc := range []struct{ rows, workers, tile int }{
+		{100, 4, 7}, {100, 4, 100}, {100, 4, 1000}, {64, 8, 16}, {1, 4, 3},
+	} {
+		var mu sync.Mutex
+		seen := make([]int, tc.rows)
+		parallelRowsTiled(tc.rows, tc.workers, tc.tile, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("rows=%d workers=%d tile=%d: row %d visited %d times",
+					tc.rows, tc.workers, tc.tile, i, n)
+			}
+		}
+	}
+}

@@ -15,14 +15,10 @@ func (csrKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
 	a := mustFormat[*sparse.CSR](m, sparse.FormatCSR)
 	checkDims(m, y, x)
 	rows, _ := a.Dims()
-	parallelRows(rows, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s := 0.0
-			for j := a.RowPtr[i]; j < a.RowPtr[i+1]; j++ {
-				s += a.Vals[j] * x[a.ColIdx[j]]
-			}
-			y[i] = s
-		}
+	v, tile := pick(sparse.FormatCSR, a.NNZ())
+	body := csrBodies[v]
+	parallelRowsTiled(rows, workers, tile, func(lo, hi int) {
+		body(y, a, x, lo, hi)
 	})
 }
 
@@ -108,19 +104,10 @@ func (ellKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
 	a := mustFormat[*sparse.ELL](m, sparse.FormatELL)
 	checkDims(m, y, x)
 	rows, _ := a.Dims()
-	parallelRows(rows, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s := 0.0
-			base := i * a.Width
-			for w := 0; w < a.Width; w++ {
-				c := a.ColIdx[base+w]
-				if c < 0 {
-					break
-				}
-				s += a.Vals[base+w] * x[c]
-			}
-			y[i] = s
-		}
+	v, tile := pick(sparse.FormatELL, a.NNZ())
+	body := ellBodies[v]
+	parallelRowsTiled(rows, workers, tile, func(lo, hi int) {
+		body(y, a, x, lo, hi)
 	})
 }
 
@@ -170,36 +157,10 @@ func (bsrKernel) Format() sparse.Format { return sparse.FormatBSR }
 func (bsrKernel) Mul(y []float64, m sparse.Matrix, x []float64, workers int) {
 	a := mustFormat[*sparse.BSR](m, sparse.FormatBSR)
 	checkDims(m, y, x)
-	rows, cols := a.Dims()
-	b := a.B
-	parallelRows(a.BlockRows, workers, func(blo, bhi int) {
-		for br := blo; br < bhi; br++ {
-			rowBase := br * b
-			rmax := b
-			if rowBase+rmax > rows {
-				rmax = rows - rowBase
-			}
-			for lr := 0; lr < rmax; lr++ {
-				y[rowBase+lr] = 0
-			}
-			for p := a.RowPtr[br]; p < a.RowPtr[br+1]; p++ {
-				colBase := int(a.ColIdx[p]) * b
-				cmax := b
-				if colBase+cmax > cols {
-					cmax = cols - colBase
-				}
-				blk := a.Blocks[int(p)*b*b:]
-				for lr := 0; lr < rmax; lr++ {
-					s := 0.0
-					row := blk[lr*b : lr*b+cmax]
-					xw := x[colBase : colBase+cmax]
-					for lc, v := range row {
-						s += v * xw[lc]
-					}
-					y[rowBase+lr] += s
-				}
-			}
-		}
+	v, tile := pick(sparse.FormatBSR, a.NNZ())
+	body := bsrBodies[v]
+	parallelRowsTiled(a.BlockRows, workers, tile, func(blo, bhi int) {
+		body(y, a, x, blo, bhi)
 	})
 }
 

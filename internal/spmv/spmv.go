@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sparse"
 )
@@ -102,6 +103,39 @@ func parallelRows(rows, workers int, body func(lo, hi int)) {
 			defer wg.Done()
 			body(lo, hi)
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelRowsTiled is parallelRows with an optional row-tile size from
+// the autotune table: with tile > 0 and more than one worker, workers
+// claim tile-sized chunks off an atomic cursor instead of taking one
+// even slice each, which balances skewed row-length distributions at
+// the cost of one atomic add per tile. tile <= 0 keeps even splitting.
+func parallelRowsTiled(rows, workers, tile int, body func(lo, hi int)) {
+	workers = resolveWorkers(workers, rows)
+	if workers == 1 || tile <= 0 {
+		parallelRows(rows, workers, body)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(tile))) - tile
+				if lo >= rows {
+					return
+				}
+				hi := lo + tile
+				if hi > rows {
+					hi = rows
+				}
+				body(lo, hi)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -1,0 +1,141 @@
+package tensor
+
+import "fmt"
+
+// Float32 building blocks for the inference-only forward path. The
+// training stack stays float64 (optimiser state is precision-hungry);
+// inference tolerates float32 — the paper's GPU deployments run fp32 —
+// and halving the activation footprint roughly doubles effective cache
+// reach on the serve hot loop. Every function here writes into
+// caller-provided storage and allocates nothing.
+
+// Im2ColF32 lowers a (C,H,W) float32 input into dst as a
+// (C*KH*KW, OutH*OutW) row-major matrix, like Im2Col but without
+// allocating. dst must have room for exactly that many elements.
+func Im2ColF32(dst, src []float32, g ConvGeom) {
+	oh, ow := g.OutH(), g.OutW()
+	ncols := oh * ow
+	if want := g.InC * g.KH * g.KW * ncols; len(dst) < want {
+		panic(fmt.Sprintf("tensor: Im2ColF32 dst has %d elements, need %d", len(dst), want))
+	}
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				base := row * ncols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH + kh - g.PadH
+					outBase := base + oy*ow
+					if iy < 0 || iy >= g.InH {
+						for ox := 0; ox < ow; ox++ {
+							dst[outBase+ox] = 0
+						}
+						continue
+					}
+					rowOff := chanOff + iy*g.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW + kw - g.PadW
+						if ix < 0 || ix >= g.InW {
+							dst[outBase+ox] = 0
+						} else {
+							dst[outBase+ox] = src[rowOff+ix]
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// ConvMatMulF32 computes dst = w (outC×k) × col (k×n) with the conv
+// epilogue fused in: each output row is initialised to its channel
+// bias, and when relu is set negatives are clamped in the same pass
+// that finishes the row — the fused conv+bias+ReLU kernel of the
+// inference engine. ikj loop order keeps both streamed operands
+// unit-stride, with a zero-skip on w (post-ReLU activations make
+// pruned-looking weights common enough to pay for the branch).
+func ConvMatMulF32(dst, w, col []float32, outC, k, n int, bias []float32, relu bool) {
+	for i := 0; i < outC; i++ {
+		row := dst[i*n : (i+1)*n]
+		b := float32(0)
+		if bias != nil {
+			b = bias[i]
+		}
+		for j := range row {
+			row[j] = b
+		}
+		wrow := w[i*k : (i+1)*k]
+		for kk, a := range wrow {
+			if a == 0 {
+				continue
+			}
+			brow := col[kk*n : (kk+1)*n]
+			for j, v := range brow {
+				row[j] += a * v
+			}
+		}
+		if relu {
+			for j, v := range row {
+				if v < 0 {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// DenseF32 computes dst = w (out×in) × x + bias with an optional fused
+// ReLU; the float32 fully connected forward. The dot product keeps
+// four independent accumulators, same recipe as the tuned SpMV bodies.
+func DenseF32(dst, w, x, bias []float32, out, in int, relu bool) {
+	for o := 0; o < out; o++ {
+		row := w[o*in : (o+1)*in]
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i+4 <= len(row) && i+4 <= len(x); i += 4 {
+			s0 += row[i] * x[i]
+			s1 += row[i+1] * x[i+1]
+			s2 += row[i+2] * x[i+2]
+			s3 += row[i+3] * x[i+3]
+		}
+		s := (s0 + s2) + (s1 + s3)
+		for ; i < len(row) && i < len(x); i++ {
+			s += row[i] * x[i]
+		}
+		if bias != nil {
+			s += bias[o]
+		}
+		if relu && s < 0 {
+			s = 0
+		}
+		dst[o] = s
+	}
+}
+
+// MaxPool2DF32 pools a (c,h,w) float32 input with a square k window at
+// the given stride into dst, floor semantics (odd trailing rows and
+// columns dropped), matching nn.MaxPool2D's forward.
+func MaxPool2DF32(dst, src []float32, c, h, w, k, stride, oh, ow int) {
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				y0, x0 := oy*stride, ox*stride
+				first := true
+				var best float32
+				for dy := 0; dy < k && y0+dy < h; dy++ {
+					rowOff := chOff + (y0+dy)*w
+					for dx := 0; dx < k && x0+dx < w; dx++ {
+						v := src[rowOff+x0+dx]
+						if first || v > best {
+							best, first = v, false
+						}
+					}
+				}
+				dst[ch*oh*ow+oy*ow+ox] = best
+			}
+		}
+	}
+}

@@ -2,14 +2,23 @@
 // stdin) into a stable JSON document for artifact upload and for the
 // benchmark-regression gate (scripts/benchgate).
 //
-//	go test -bench=. -run='^$' ./... > BENCH.txt
+//	go test -bench=. -benchmem -run='^$' ./... > BENCH.txt
 //	go run ./scripts/benchjson -o BENCH.json < BENCH.txt
 //
 // Benchmarks are keyed by "<import path>/<benchmark name>" with the
 // GOMAXPROCS suffix stripped, so keys are stable across machines with
 // different core counts. When the same key appears more than once
-// (e.g. -count=N), the fastest run is kept — the minimum is the least
-// noisy estimate of the true cost.
+// (e.g. -count=N), the fastest run's timing is kept — the minimum is
+// the least noisy estimate of the true cost — and the memory columns
+// are merged as the minimum over the runs that reported them, so a
+// re-run without -benchmem cannot erase alloc data a -benchmem run
+// already produced.
+//
+// The memory columns are pointers in the schema: "allocs_per_op": 0 is
+// a real measurement (an allocation-free hot path is exactly the
+// contract the gate exists to protect) and must survive the round
+// trip, while a benchmark that never reported allocs omits the field
+// entirely. An omitted field and a zero are different facts.
 package main
 
 import (
@@ -23,13 +32,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. NsPerOp is always present; the
+// remaining columns are nil when the benchmark did not report them
+// (no -benchmem, no b.SetBytes), never silently zero.
 type Result struct {
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerS      float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int      `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Doc is the top-level BENCH.json schema.
@@ -44,6 +55,21 @@ var (
 	benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 	procSufRe = regexp.MustCompile(`-\d+$`)
 )
+
+// minPtr merges one optional column across runs: absent stays absent,
+// one-sided keeps the reported value, both sides keep the minimum.
+func minPtr(a, b *float64) *float64 {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case *a < *b:
+		return a
+	default:
+		return b
+	}
+}
 
 func parse(doc *Doc, sc *bufio.Scanner) (int, error) {
 	pkg := ""
@@ -77,7 +103,7 @@ func parse(doc *Doc, sc *bufio.Scanner) (int, error) {
 			r := Result{Iterations: iters, NsPerOp: ns}
 			for _, extra := range [...]struct {
 				unit string
-				dst  *float64
+				dst  **float64
 			}{
 				{"MB/s", &r.MBPerS},
 				{"B/op", &r.BytesPerOp},
@@ -85,12 +111,19 @@ func parse(doc *Doc, sc *bufio.Scanner) (int, error) {
 			} {
 				re := regexp.MustCompile(`([\d.]+) ` + regexp.QuoteMeta(extra.unit))
 				if em := re.FindStringSubmatch(m[4]); em != nil {
-					*extra.dst, _ = strconv.ParseFloat(em[1], 64)
+					v, _ := strconv.ParseFloat(em[1], 64)
+					*extra.dst = &v
 				}
 			}
-			if prev, ok := doc.Benchmarks[key]; !ok || r.NsPerOp < prev.NsPerOp {
-				doc.Benchmarks[key] = r
+			if prev, ok := doc.Benchmarks[key]; ok {
+				if prev.NsPerOp < r.NsPerOp {
+					r.Iterations, r.NsPerOp = prev.Iterations, prev.NsPerOp
+				}
+				r.MBPerS = minPtr(prev.MBPerS, r.MBPerS)
+				r.BytesPerOp = minPtr(prev.BytesPerOp, r.BytesPerOp)
+				r.AllocsPerOp = minPtr(prev.AllocsPerOp, r.AllocsPerOp)
 			}
+			doc.Benchmarks[key] = r
 			lines++
 		}
 	}

@@ -21,6 +21,37 @@ fi
 
 go build ./...
 go vet ./...
+
+# Static analysis: staticcheck (bug-pattern lints beyond vet) and
+# govulncheck (known-vulnerable call paths in the dependency graph),
+# both version-pinned so CI cannot drift onto a lint set nobody
+# reviewed. SHORT=1 skips — the short gate is the fast merge loop and
+# these tools dominate its runtime on a cold cache. A missing tool is
+# installed into GOPATH/bin when the network allows; an offline
+# checkout logs a warning and continues, because a sandbox without
+# egress must still be able to run the gate.
+STATICCHECK_VERSION=v0.6.1
+GOVULNCHECK_VERSION=v1.1.4
+if [[ "${SHORT:-0}" != "1" ]]; then
+    export PATH="$(go env GOPATH)/bin:$PATH"
+    if ! command -v staticcheck >/dev/null 2>&1; then
+        go install "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" || true
+    fi
+    if command -v staticcheck >/dev/null 2>&1; then
+        staticcheck ./...
+    else
+        echo "warning: staticcheck unavailable (offline?), skipping" >&2
+    fi
+    if ! command -v govulncheck >/dev/null 2>&1; then
+        go install "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" || true
+    fi
+    if command -v govulncheck >/dev/null 2>&1; then
+        govulncheck ./...
+    else
+        echo "warning: govulncheck unavailable (offline?), skipping" >&2
+    fi
+fi
+
 go run ./scripts/servesmoke
 
 # Corpus crash drill: build with the real gendata binary, SIGKILL it
