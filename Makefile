@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check smoke gendrill corpusdrill clusterdrill shepherddrill fuzz bench
+.PHONY: build test check smoke gendrill corpusdrill clusterdrill overloaddrill shepherddrill fuzz bench
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,15 @@ corpusdrill:
 # reconvergence once the victim restarts.
 clusterdrill:
 	$(GO) run ./scripts/clusterdrill
+
+# overloaddrill runs only the overload-control drill: router + two
+# SLO-armed replicas behind a retry budget, an open-loop Poisson surge
+# at 5x measured capacity, and hard assertions that goodput holds (no
+# congestion collapse), overload answers are sheds rather than errors,
+# brownout engages under the surge and the tier recovers within 10s of
+# the load dropping.
+overloaddrill:
+	$(GO) run ./scripts/overloaddrill
 
 # shepherddrill runs only the continual-learning drill: serve + shepherd
 # on real binaries, shifted traffic trips the drift detector, a

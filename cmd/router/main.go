@@ -14,6 +14,15 @@
 // (503 until at least one replica is in rotation), GET /metrics
 // (router_* series). -admin-addr adds a separate operational listener.
 //
+// Overload control: retries draw from a fleet-safe token budget
+// (-retry-budget-ratio, -retry-budget-burst) so a shedding cluster is
+// never amplified by its own router; replica Retry-After hints pace the
+// relaunches that do happen; every attempt carries its remaining
+// deadline as X-Request-Deadline so replicas can refuse work they
+// cannot finish in time; and -replica-slo-target arms an adaptive
+// per-replica in-flight limit that sheds at the router edge before
+// deepening a slow replica's queue.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish within
 // -drain-timeout, then the probe loop stops and a final metrics
 // snapshot is logged.
@@ -47,6 +56,9 @@ func main() {
 	halfOpenProbes := flag.Int("half-open-probes", 2, "consecutive successes a recovering replica needs to rejoin")
 	retries := flag.Int("retries", 2, "max attempt relaunches per request (total attempts = retries+1)")
 	backoff := flag.Duration("backoff", 25*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+	retryBudgetRatio := flag.Float64("retry-budget-ratio", 0.1, "retry tokens deposited per successful attempt (caps steady-state retries at this fraction of successes; negative disables the budget)")
+	retryBudgetBurst := flag.Int("retry-budget-burst", 10, "retry-budget token cap and starting balance")
+	replicaSLO := flag.Duration("replica-slo-target", 0, "per-replica adaptive in-flight limit target latency (0 disables)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge to the next replica when the first attempt exceeds this (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "end-to-end deadline budget per routed request")
 	maxBody := flag.Int64("max-body", 32<<20, "largest accepted request body in bytes (413 beyond)")
@@ -66,6 +78,9 @@ func main() {
 		HalfOpenProbes:   *halfOpenProbes,
 		Retries:          *retries,
 		Backoff:          *backoff,
+		RetryBudgetRatio: *retryBudgetRatio,
+		RetryBudgetBurst: *retryBudgetBurst,
+		ReplicaSLOTarget: *replicaSLO,
 		HedgeAfter:       *hedgeAfter,
 		RequestTimeout:   *requestTimeout,
 		MaxBodyBytes:     *maxBody,

@@ -75,6 +75,7 @@ func main() {
 	maxNNZ := flag.Int("max-nnz", 16<<20, "largest accepted nonzero count per matrix (413 beyond)")
 	maxBody := flag.Int64("max-body", 32<<20, "largest accepted request body in bytes (413 beyond)")
 	queue := flag.Int("queue", 0, "prediction queue depth before shedding 429s (0 = 4*batch*workers)")
+	sloTarget := flag.Duration("slo-target-p99", 0, "p99 latency SLO enabling adaptive admission, autosized batching, brownout and drain-rate Retry-After (0 disables)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive CNN failures before degrading to the decision tree")
 	breakerCooldown := flag.Duration("breaker-cooldown", 15*time.Second, "wait before a half-open probe retries the CNN")
 	predictTimeout := flag.Duration("predict-timeout", 2*time.Second, "per-inference CNN deadline before degrading")
@@ -125,6 +126,7 @@ func main() {
 		MaxBodyBytes:            *maxBody,
 		Limits:                  limits,
 		RequestTimeout:          *requestTimeout,
+		SLOTargetP99:            *sloTarget,
 		PredictTimeout:          *predictTimeout,
 		BreakerThreshold:        *breakerThreshold,
 		BreakerCooldown:         *breakerCooldown,

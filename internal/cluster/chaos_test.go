@@ -90,14 +90,14 @@ func TestClusterReplicaDeathFailover(t *testing.T) {
 	// And requests no longer pay failover penalties: the hint and the
 	// first attempt both go to the successor.
 	page := scrapeRouter(t, ts)
-	before := metricSample(page, "router_retries_total")
+	before := metricSum(page, "router_retries_total")
 	for i := 0; i < 5; i++ {
 		if res, _ := postRouter(t, ts, body); res.StatusCode != http.StatusOK {
 			t.Fatalf("req %d after re-own: not 200", i)
 		}
 	}
 	page = scrapeRouter(t, ts)
-	if after := metricSample(page, "router_retries_total"); after != before {
+	if after := metricSum(page, "router_retries_total"); after != before {
 		t.Fatalf("still retrying after re-own: %g -> %g", before, after)
 	}
 }

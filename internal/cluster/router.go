@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/robust"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
@@ -53,6 +54,22 @@ type Config struct {
 	// RequestTimeout is the end-to-end deadline budget per routed
 	// request, all attempts included (default 15s).
 	RequestTimeout time.Duration
+	// RetryBudgetRatio caps steady-state retries at this fraction of
+	// successful attempts: each success deposits Ratio retry tokens,
+	// each relaunch withdraws one (default 0.1; negative disables the
+	// budget entirely — pre-budget unbounded retries).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is both the token cap and the starting balance,
+	// so a cold router can still retry through an isolated failure
+	// (default 10).
+	RetryBudgetBurst int
+	// ReplicaSLOTarget, when positive, arms an adaptive in-flight
+	// limiter per replica (robust.Limiter, AIMD on observed attempt
+	// latency against this target): attempts beyond a replica's current
+	// limit are refused locally as a synthetic 429 and fail over to the
+	// next candidate instead of deepening the slow replica's queue.
+	// 0 disables (the default).
+	ReplicaSLOTarget time.Duration
 	// MaxBodyBytes caps accepted request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// Limits is the ingestion budget used to parse (and reject) bodies
@@ -86,6 +103,12 @@ func (c *Config) defaults() {
 	if c.Backoff <= 0 {
 		c.Backoff = 25 * time.Millisecond
 	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.1
+	}
+	if c.RetryBudgetBurst <= 0 {
+		c.RetryBudgetBurst = 10
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 15 * time.Second
 	}
@@ -103,6 +126,7 @@ type Router struct {
 	cfg    Config
 	ring   *ring
 	met    *metrics
+	budget *retryBudget
 	client *http.Client
 
 	quit    chan struct{}
@@ -136,9 +160,10 @@ func New(cfg Config) (*Router, error) {
 		return nil, errors.New("cluster: no replicas configured")
 	}
 	rt := &Router{
-		cfg:  cfg,
-		ring: rg,
-		met:  newMetrics(),
+		cfg:    cfg,
+		ring:   rg,
+		met:    newMetrics(),
+		budget: newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 		client: &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        64,
 			MaxIdleConnsPerHost: 64,
@@ -146,11 +171,26 @@ func New(cfg Config) (*Router, error) {
 		}},
 		quit: make(chan struct{}),
 	}
+	if rt.budget != nil {
+		rt.met.reg.GaugeFunc("router_retry_budget_tokens", "Remaining retry-budget tokens.", rt.budget.balance)
+	}
 	for _, rep := range rg.replicas {
 		// Pre-create the per-replica series so the first scrape already
 		// shows the whole fleet (state 2 until the first probe passes).
 		rt.met.replicaState.With(replicaLabel(rep.url)).SetInt(stateDown)
 		rt.met.probeFailures.With(replicaLabel(rep.url))
+		if cfg.ReplicaSLOTarget > 0 {
+			// Per-replica adaptive in-flight cap: the limiter sheds at the
+			// router edge before the wire, so a slow replica's queue stops
+			// growing the moment its attempt latency crosses the target.
+			rep.limiter = robust.NewLimiter(robust.LimiterConfig{
+				Target:  cfg.ReplicaSLOTarget,
+				Floor:   1,
+				Ceiling: 256,
+			})
+			rt.met.replicaLimited.With(replicaLabel(rep.url))
+			rt.met.replicaLimit.With(replicaLabel(rep.url)).Set(float64(rep.limiter.Limit()))
+		}
 	}
 	rt.probeWG.Add(1)
 	go rt.probeLoop()
@@ -274,12 +314,13 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	res := rt.forward(ctx, fp, body, ct, r.URL.RawQuery)
 	attempts = res.launches
-	if !res.usable() && res.status != http.StatusTooManyRequests {
+	if !res.usable() && !res.shed() {
 		// The attempt budget ran dry without a relayable answer
 		// (transport errors or replica 5xx all the way down): the
-		// gateway owns the error code. A unanimous 429 is different —
-		// the whole cluster is shedding, and the Retry-After relay below
-		// tells the client what to do about it.
+		// gateway owns the error code. A unanimous shed (429, or a 503
+		// from a draining replica) is different — the cluster is telling
+		// the client to back off, and the Retry-After relay below says
+		// for how long.
 		code = http.StatusBadGateway
 		if ctx.Err() != nil {
 			code = http.StatusGatewayTimeout
@@ -323,6 +364,41 @@ type attemptResult struct {
 // (429 means "this replica is shedding", not "the cluster is full").
 func (a attemptResult) usable() bool {
 	return a.err == nil && a.status != 0 && a.status < 500 && a.status != http.StatusTooManyRequests
+}
+
+// shed reports whether the attempt was consciously refused by a replica
+// (429, or 503 from a draining one). A shed answer is retryable while
+// budget remains, but — unlike a transport error or a 5xx — it is also
+// relayable: when retries run out, the client gets the refusal and its
+// Retry-After rather than a synthesized 502.
+func (a attemptResult) shed() bool {
+	return a.err == nil && (a.status == http.StatusTooManyRequests || a.status == http.StatusServiceUnavailable)
+}
+
+// retryReason classifies a non-usable attempt for the
+// router_retries_total{reason} counter: shed (the replica refused),
+// transport (no HTTP answer at all), upstream (the replica broke).
+func retryReason(a attemptResult) string {
+	switch {
+	case a.shed():
+		return "shed"
+	case a.err != nil || a.status == 0:
+		return "transport"
+	default:
+		return "upstream"
+	}
+}
+
+// retryAfterHint extracts a shed attempt's Retry-After pacing hint.
+func retryAfterHint(a attemptResult) (time.Duration, bool) {
+	if !a.shed() || a.header == nil {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(a.header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
 }
 
 // forward routes one parsed request: rendezvous-ranked candidate order,
@@ -413,6 +489,9 @@ func (rt *Router) forward(ctx context.Context, fp uint64, body []byte, contentTy
 		case res := <-results:
 			outstanding--
 			if res.usable() {
+				// Every success funds future retries: the budget refills
+				// at RetryBudgetRatio per answered request.
+				rt.budget.deposit()
 				res.launches = launches
 				if res.rep.url != owner {
 					rt.met.failovers.Inc()
@@ -431,12 +510,35 @@ func (rt *Router) forward(ctx context.Context, fp uint64, body []byte, contentTy
 			}
 			last = res
 			if launches < maxLaunches {
-				rt.met.retries.Inc()
+				wait := jitter(rt.cfg.Backoff << uint(launches-1))
+				if ra, ok := retryAfterHint(res); ok {
+					// The replica said when it can take work again. A
+					// deadline that cannot cover that wait makes the shed
+					// answer final: relaying it (with its Retry-After)
+					// beats burning an attempt that will be shed too.
+					if time.Until(deadline) <= ra {
+						last.launches = launches
+						return last
+					}
+					if ra > wait {
+						wait = ra
+						rt.met.retryAfterWaits.Inc()
+					}
+				}
+				if !rt.budget.withdraw() {
+					// Fleet safety: no retry tokens, no relaunch — even
+					// with attempts left. A cluster-wide brownout must not
+					// be amplified Retries+1-fold by its own router.
+					rt.met.budgetExhausted.Inc()
+					last.launches = launches
+					return last
+				}
+				rt.met.retries.With(fmt.Sprintf("reason=%q", retryReason(res))).Inc()
 				// Backoff only when nothing else is in flight — if a
 				// hedge is still running, its answer may arrive during
 				// what would have been dead sleep.
 				if outstanding == 0 {
-					if !sleepCtx(ctx, jitter(rt.cfg.Backoff<<uint(launches-1))) {
+					if !sleepCtx(ctx, wait) {
 						last.launches = launches
 						return last
 					}
@@ -465,16 +567,44 @@ func (rt *Router) forward(ctx context.Context, fp uint64, body []byte, contentTy
 // consciously answered (2xx, 4xx, even a 429 shed) counts for it.
 func (rt *Router) send(ctx context.Context, rep *Replica, attempt int, owner string, body []byte, contentType, rawQuery string) attemptResult {
 	start := time.Now()
+	if rep.limiter != nil {
+		if !rep.limiter.Acquire() {
+			// Refused at the router's edge: a synthetic shed, shaped like
+			// a replica 429 so forward's retry logic fails the attempt
+			// over to the next candidate without touching the wire (or
+			// the replica's breaker — a full replica is not a sick one).
+			rt.met.replicaLimited.With(replicaLabel(rep.url)).Inc()
+			hdr := http.Header{}
+			hdr.Set("Content-Type", "application/json")
+			hdr.Set("Retry-After", "1")
+			return attemptResult{
+				status:  http.StatusTooManyRequests,
+				header:  hdr,
+				body:    []byte(`{"error":"replica in-flight limit reached"}`),
+				rep:     rep,
+				attempt: attempt,
+			}
+		}
+		defer func() {
+			rt.met.replicaLimit.With(replicaLabel(rep.url)).Set(float64(rep.limiter.Limit()))
+		}()
+	}
 	url := rep.url + "/v1/predict"
 	if rawQuery != "" {
 		url += "?" + rawQuery
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
+		rep.limiterRelease(time.Since(start), false)
 		return attemptResult{rep: rep, attempt: attempt, err: err}
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Deadline propagation: the replica's admission control sheds
+		// work it cannot finish in time instead of queueing it to die.
+		req.Header.Set("X-Request-Deadline", strconv.FormatInt(dl.UnixMilli(), 10))
 	}
 	// The shard hint: whichever replica serves this, the owner's cache
 	// is where the answer may already live.
@@ -487,6 +617,7 @@ func (rt *Router) send(ctx context.Context, rep *Replica, attempt int, owner str
 	res, err := rt.client.Do(req)
 	if err != nil {
 		rep.breaker.Failure()
+		rep.limiterRelease(time.Since(start), false)
 		rt.met.proxyLatency.With(replicaLabel(rep.url)).ObserveSince(start)
 		return attemptResult{rep: rep, attempt: attempt, err: err}
 	}
@@ -495,6 +626,7 @@ func (rt *Router) send(ctx context.Context, rep *Replica, attempt int, owner str
 	rt.met.proxyLatency.With(replicaLabel(rep.url)).ObserveSince(start)
 	if err != nil {
 		rep.breaker.Failure()
+		rep.limiterRelease(time.Since(start), false)
 		return attemptResult{rep: rep, attempt: attempt, err: err}
 	}
 	if res.StatusCode >= 500 {
@@ -502,6 +634,10 @@ func (rt *Router) send(ctx context.Context, rep *Replica, attempt int, owner str
 	} else {
 		rep.breaker.Success()
 	}
+	// A shed or 5xx counts against the limiter too: an overloaded
+	// replica's fast refusals are exactly the signal that should shrink
+	// its in-flight cap.
+	rep.limiterRelease(time.Since(start), res.StatusCode < 500 && res.StatusCode != http.StatusTooManyRequests)
 	return attemptResult{status: res.StatusCode, header: res.Header, body: data, rep: rep, attempt: attempt}
 }
 

@@ -27,9 +27,12 @@ type fakeReplica struct {
 	readyCode   int           // status for /readyz (200 default)
 	readyBody   string
 
-	hits    atomic.Int64
-	owners  []string // X-Shard-Owner header per predict hit
-	retries []string // X-Retry-Attempt header per predict hit
+	hits      atomic.Int64
+	owners    []string // X-Shard-Owner header per predict hit
+	retries   []string // X-Retry-Attempt header per predict hit
+	deadlines []string // X-Request-Deadline header per predict hit
+
+	predictHeader http.Header // extra headers for /v1/predict answers
 }
 
 func newFakeReplica(t *testing.T) *fakeReplica {
@@ -48,13 +51,20 @@ func newFakeReplica(t *testing.T) *fakeReplica {
 		f.mu.Lock()
 		f.owners = append(f.owners, r.Header.Get("X-Shard-Owner"))
 		f.retries = append(f.retries, r.Header.Get("X-Retry-Attempt"))
+		f.deadlines = append(f.deadlines, r.Header.Get("X-Request-Deadline"))
 		code, body, delay := f.predictCode, f.predictBody, f.delay
+		extra := f.predictHeader
 		f.mu.Unlock()
 		if delay > 0 {
 			select {
 			case <-time.After(delay):
 			case <-r.Context().Done():
 				return
+			}
+		}
+		for k, vs := range extra {
+			for _, v := range vs {
+				w.Header().Add(k, v)
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -151,6 +161,22 @@ func metricSample(page, series string) float64 {
 	return 0
 }
 
+// metricSum totals every series of a labeled metric family.
+func metricSum(page, name string) float64 {
+	var total float64
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		if i := strings.LastIndex(line, " "); i >= 0 {
+			var v float64
+			fmt.Sscanf(line[i+1:], "%g", &v)
+			total += v
+		}
+	}
+	return total
+}
+
 func TestRouterRoutesWithShardHint(t *testing.T) {
 	a, b := newFakeReplica(t), newFakeReplica(t)
 	rt, ts := newTestRouter(t, nil, a, b)
@@ -233,8 +259,11 @@ func TestRouterRetriesAcrossReplicasOn5xx(t *testing.T) {
 		}
 	}
 	page := scrapeRouter(t, ts)
-	if v := metricSample(page, "router_retries_total"); v == 0 {
+	if v := metricSum(page, "router_retries_total"); v == 0 {
 		t.Fatal("no retries recorded despite a sick replica")
+	}
+	if v := metricSample(page, `router_retries_total{reason="upstream"}`); v == 0 {
+		t.Fatal("5xx retries not classified as upstream")
 	}
 }
 

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOTracker measures a service against a latency SLO over a rolling
+// window: goodput (in-SLO successes per second, the number overload
+// control exists to protect) and burn rate (how fast the latency error
+// budget is being spent). It is a ring of fixed-duration buckets, so
+// Observe is O(1) and the window slides bucket-at-a-time without
+// per-sample timestamps.
+//
+// Burn rate follows the SRE convention: with an SLO of "all but
+// Budget of requests answer within Target", the burn rate is the
+// observed violating fraction divided by Budget. 1.0 means the budget
+// is being spent exactly as fast as it accrues; an overloaded service
+// shedding half its traffic burns at ~50x on a 1% budget. Failures
+// count as violations regardless of their latency — a fast error is
+// not goodput.
+type SLOTracker struct {
+	cfg SLOConfig
+	now func() time.Time // injectable clock (tests)
+
+	mu       sync.Mutex
+	buckets  []sloBucket
+	cur      int       // index of the active bucket
+	curStart time.Time // start of the active bucket
+}
+
+type sloBucket struct {
+	total uint64 // completions observed
+	inSLO uint64 // successes within Target
+}
+
+// SLOConfig parameterises an SLOTracker.
+type SLOConfig struct {
+	// Target is the per-request latency SLO.
+	Target time.Duration
+	// Window is the rolling measurement span (default 10s).
+	Window time.Duration
+	// Buckets is the ring granularity (default 10; the window slides in
+	// Window/Buckets steps).
+	Buckets int
+	// Budget is the allowed violating fraction — 0.01 means a
+	// "99% of requests within Target" SLO (the default).
+	Budget float64
+}
+
+func (c *SLOConfig) defaults() {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.Budget <= 0 || c.Budget >= 1 {
+		c.Budget = 0.01
+	}
+}
+
+// SLOSnapshot is a point-in-time window summary.
+type SLOSnapshot struct {
+	// Target echoes the configured latency SLO.
+	Target time.Duration `json:"target_seconds"`
+	// Total and InSLO count the window's completions and the subset
+	// that succeeded within Target.
+	Total uint64 `json:"total"`
+	InSLO uint64 `json:"in_slo"`
+	// GoodputRPS is in-SLO successes per second of covered window.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// RateRPS is all completions per second of covered window.
+	RateRPS float64 `json:"rate_rps"`
+	// BurnRate is the violating fraction divided by the error budget
+	// (1.0 = spending the budget exactly as fast as it accrues).
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// NewSLOTracker builds a tracker for the given SLO.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	cfg.defaults()
+	t := &SLOTracker{cfg: cfg, now: time.Now, buckets: make([]sloBucket, cfg.Buckets)}
+	t.curStart = t.now()
+	return t
+}
+
+// bucketDur is one ring step.
+func (t *SLOTracker) bucketDur() time.Duration {
+	return t.cfg.Window / time.Duration(t.cfg.Buckets)
+}
+
+// rotate advances the ring to cover now. Caller holds t.mu.
+func (t *SLOTracker) rotate(now time.Time) {
+	d := t.bucketDur()
+	steps := 0
+	for now.Sub(t.curStart) >= d {
+		t.cur = (t.cur + 1) % len(t.buckets)
+		t.buckets[t.cur] = sloBucket{}
+		t.curStart = t.curStart.Add(d)
+		steps++
+		if steps > len(t.buckets) {
+			// The tracker slept past a full window: every bucket is
+			// stale. Zero the rest and re-anchor rather than spinning
+			// through an unbounded gap.
+			for i := range t.buckets {
+				t.buckets[i] = sloBucket{}
+			}
+			t.curStart = now
+			break
+		}
+	}
+}
+
+// Observe records one completed request: its latency and whether it
+// succeeded. Sheds and errors pass ok == false.
+func (t *SLOTracker) Observe(latency time.Duration, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rotate(t.now())
+	b := &t.buckets[t.cur]
+	b.total++
+	if ok && latency <= t.cfg.Target {
+		b.inSLO++
+	}
+}
+
+// Snapshot summarises the current window.
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rotate(t.now())
+	var total, inSLO uint64
+	for _, b := range t.buckets {
+		total += b.total
+		inSLO += b.inSLO
+	}
+	s := SLOSnapshot{Target: t.cfg.Target, Total: total, InSLO: inSLO}
+	// Rates divide by the fixed window span: a tracker younger than one
+	// window under-reports rather than spiking off a near-zero divisor.
+	covered := t.cfg.Window.Seconds()
+	if covered <= 0 {
+		return s
+	}
+	s.GoodputRPS = float64(inSLO) / covered
+	s.RateRPS = float64(total) / covered
+	if total > 0 {
+		violating := float64(total-inSLO) / float64(total)
+		s.BurnRate = violating / t.cfg.Budget
+	}
+	return s
+}

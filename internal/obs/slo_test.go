@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type sloClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *sloClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *sloClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestSLOTracker(cfg SLOConfig) (*SLOTracker, *sloClock) {
+	tr := NewSLOTracker(cfg)
+	clk := &sloClock{t: time.Unix(1_700_000_000, 0)}
+	tr.now = clk.now
+	tr.curStart = clk.now()
+	return tr, clk
+}
+
+func TestSLOTrackerGoodputAndBurn(t *testing.T) {
+	target := 100 * time.Millisecond
+	tr, clk := newTestSLOTracker(SLOConfig{Target: target, Window: 10 * time.Second, Buckets: 10, Budget: 0.01})
+
+	// 80 in-SLO successes, 10 slow successes, 10 failures, spread over
+	// the window.
+	for i := 0; i < 100; i++ {
+		switch {
+		case i < 80:
+			tr.Observe(target/2, true)
+		case i < 90:
+			tr.Observe(2*target, true)
+		default:
+			tr.Observe(target/2, false)
+		}
+		if i%10 == 9 {
+			clk.advance(time.Second)
+		}
+	}
+	// One last rotate consumes the final advance; back off a bucket so
+	// everything observed is still inside the window.
+	clk.advance(-time.Second)
+	s := tr.Snapshot()
+	if s.Total != 100 || s.InSLO != 80 {
+		t.Fatalf("window = %d total / %d in-SLO, want 100/80", s.Total, s.InSLO)
+	}
+	if got, want := s.GoodputRPS, 8.0; got != want {
+		t.Fatalf("goodput = %g rps, want %g", got, want)
+	}
+	// 20% violating on a 1% budget burns at 20x.
+	if got, want := s.BurnRate, 20.0; got < want-0.01 || got > want+0.01 {
+		t.Fatalf("burn rate = %g, want ~%g", got, want)
+	}
+}
+
+func TestSLOTrackerWindowSlides(t *testing.T) {
+	tr, clk := newTestSLOTracker(SLOConfig{Target: time.Second, Window: 10 * time.Second, Buckets: 10})
+	for i := 0; i < 50; i++ {
+		tr.Observe(time.Millisecond, true)
+	}
+	if s := tr.Snapshot(); s.Total != 50 {
+		t.Fatalf("total = %d, want 50", s.Total)
+	}
+	// A full window later the old samples have aged out entirely.
+	clk.advance(11 * time.Second)
+	if s := tr.Snapshot(); s.Total != 0 {
+		t.Fatalf("total after window slide = %d, want 0", s.Total)
+	}
+	// Far-future gap (tracker idle for hours) re-anchors cleanly.
+	tr.Observe(time.Millisecond, true)
+	clk.advance(3 * time.Hour)
+	if s := tr.Snapshot(); s.Total != 0 {
+		t.Fatalf("total after long idle = %d, want 0", s.Total)
+	}
+	tr.Observe(time.Millisecond, true)
+	if s := tr.Snapshot(); s.Total != 1 {
+		t.Fatalf("total after re-anchor = %d, want 1", s.Total)
+	}
+}
+
+func TestSLOTrackerEmpty(t *testing.T) {
+	tr, _ := newTestSLOTracker(SLOConfig{Target: time.Second})
+	s := tr.Snapshot()
+	if s.Total != 0 || s.BurnRate != 0 || s.GoodputRPS != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
+func TestSLOTrackerFailuresAreNeverGoodput(t *testing.T) {
+	tr, _ := newTestSLOTracker(SLOConfig{Target: time.Second, Budget: 0.1})
+	tr.Observe(time.Millisecond, false) // fast failure
+	s := tr.Snapshot()
+	if s.InSLO != 0 {
+		t.Fatalf("fast failure counted as in-SLO: %+v", s)
+	}
+	if got, want := s.BurnRate, 10.0; got != want {
+		t.Fatalf("burn rate = %g, want %g (1.0 violating / 0.1 budget)", got, want)
+	}
+}

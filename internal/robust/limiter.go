@@ -1,0 +1,265 @@
+package robust
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is an adaptive concurrency limiter: a token gate whose
+// capacity tracks observed latency against a configured SLO target.
+// It is the shared admission primitive of the overload-control plane —
+// the serving tier sizes its prediction queue with one, the cluster
+// router caps per-replica in-flight requests with another — so both
+// ends of the wire shrink their appetite from the same signal: work is
+// taking longer than the SLO allows, therefore less work may be in
+// flight.
+//
+// The control law is AIMD with a gradient flavour. Completions
+// accumulate into fixed windows; when a window closes, the limit moves:
+//
+//   - over target (mean latency above Target, or a majority of the
+//     window's completions failed): multiplicative decrease,
+//     limit *= Backoff, clamped to Floor. Overload is an exponential
+//     process — retries and queue growth amplify it — so the response
+//     must be exponential too.
+//   - under target *and* the window actually pressed against the limit:
+//     additive increase, limit += 1, clamped to Ceiling. Capacity is
+//     re-discovered one slot at a time, which is what keeps the probe
+//     from re-triggering the collapse it just escaped.
+//   - under target with slack: the limit holds. An idle service must
+//     not grow its limit on the evidence of easy traffic.
+//
+// A limiter that has seen no completions for IdleReset decays back to
+// its initial limit: measurements go stale, and yesterday's tight limit
+// must not throttle tomorrow's cold start (nor yesterday's generous one
+// overcommit a recovered service).
+//
+// All methods are safe for concurrent use. Acquire/Release are a mutex
+// and a few integer ops — cheap enough for a per-request admission
+// check.
+type Limiter struct {
+	cfg LimiterConfig
+	now func() time.Time // injectable clock (tests)
+
+	mu       sync.Mutex
+	limit    int
+	inflight int
+
+	// Current adjustment window.
+	windowStart time.Time
+	samples     int
+	failed      int
+	sumLatency  time.Duration
+	peak        int // max inflight observed this window
+	lastSample  time.Time
+
+	// Lifetime accounting (Stats).
+	acquired   uint64
+	rejected   uint64
+	increases  uint64
+	decreases  uint64
+	idleResets uint64
+}
+
+// LimiterConfig parameterises a Limiter. The zero value of every field
+// except Target has a usable default; Target is required (a limiter
+// with no latency goal has nothing to adapt to).
+type LimiterConfig struct {
+	// Target is the latency SLO the limit tracks: windows whose mean
+	// completion latency exceeds it shrink the limit.
+	Target time.Duration
+	// Floor is the smallest limit decrease may reach (default 1).
+	Floor int
+	// Ceiling is the largest limit increase may reach (default 1024).
+	Ceiling int
+	// Initial is the starting limit, also the idle-reset value
+	// (default Ceiling — start optimistic and shed down, so a healthy
+	// service never notices the limiter exists).
+	Initial int
+	// Window is the adjustment cadence: completions accumulate for one
+	// window before the limit moves (default 250ms).
+	Window time.Duration
+	// Backoff is the multiplicative-decrease factor in (0,1)
+	// (default 0.75).
+	Backoff float64
+	// IdleReset returns the limit to Initial after this long without a
+	// completion (default 30s; negative disables).
+	IdleReset time.Duration
+}
+
+func (c *LimiterConfig) defaults() {
+	if c.Floor <= 0 {
+		c.Floor = 1
+	}
+	if c.Ceiling <= 0 {
+		c.Ceiling = 1024
+	}
+	if c.Ceiling < c.Floor {
+		c.Ceiling = c.Floor
+	}
+	if c.Initial <= 0 {
+		c.Initial = c.Ceiling
+	}
+	if c.Initial < c.Floor {
+		c.Initial = c.Floor
+	}
+	if c.Initial > c.Ceiling {
+		c.Initial = c.Ceiling
+	}
+	if c.Window <= 0 {
+		c.Window = 250 * time.Millisecond
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = 0.75
+	}
+	if c.IdleReset == 0 {
+		c.IdleReset = 30 * time.Second
+	}
+}
+
+// LimiterStats is a point-in-time view of a limiter — the numbers the
+// observability layer exports as gauges.
+type LimiterStats struct {
+	// Limit is the current concurrency limit.
+	Limit int
+	// InFlight is the number of held slots.
+	InFlight int
+	// Acquired / Rejected count Acquire outcomes over the lifetime.
+	Acquired uint64
+	Rejected uint64
+	// Increases / Decreases count limit adjustments; IdleResets counts
+	// decays back to the initial limit.
+	Increases  uint64
+	Decreases  uint64
+	IdleResets uint64
+}
+
+// NewLimiter builds a Limiter from cfg.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg.defaults()
+	l := &Limiter{cfg: cfg, now: time.Now, limit: cfg.Initial}
+	t := l.now()
+	l.windowStart = t
+	l.lastSample = t
+	return l
+}
+
+// Acquire claims a slot. It never blocks: false means the caller is
+// over the current limit and should shed (or queue elsewhere). Every
+// true must be paired with exactly one Release.
+func (l *Limiter) Acquire() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.maybeIdleReset(l.now())
+	if l.inflight >= l.limit {
+		l.rejected++
+		return false
+	}
+	l.inflight++
+	l.acquired++
+	if l.inflight > l.peak {
+		l.peak = l.inflight
+	}
+	return true
+}
+
+// Release returns a slot and feeds the control loop one completion:
+// how long the work took, and whether it succeeded. Failures (ok ==
+// false) count as over-target regardless of latency — a fast error is
+// still evidence against the current limit, because overloaded systems
+// fail fast.
+func (l *Limiter) Release(latency time.Duration, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight > 0 {
+		l.inflight--
+	}
+	t := l.now()
+	l.samples++
+	l.sumLatency += latency
+	if !ok {
+		l.failed++
+	}
+	l.lastSample = t
+	l.maybeAdjust(t)
+}
+
+// maybeAdjust closes the current window and moves the limit when the
+// window has elapsed. Caller holds l.mu.
+func (l *Limiter) maybeAdjust(t time.Time) {
+	if t.Sub(l.windowStart) < l.cfg.Window || l.samples == 0 {
+		return
+	}
+	mean := l.sumLatency / time.Duration(l.samples)
+	over := mean > l.cfg.Target || l.failed*2 > l.samples
+	pressed := l.peak*2 >= l.limit
+	switch {
+	case over:
+		next := int(float64(l.limit) * l.cfg.Backoff)
+		if next >= l.limit {
+			next = l.limit - 1
+		}
+		if next < l.cfg.Floor {
+			next = l.cfg.Floor
+		}
+		if next != l.limit {
+			l.limit = next
+			l.decreases++
+		}
+	case pressed && l.limit < l.cfg.Ceiling:
+		l.limit++
+		l.increases++
+	}
+	l.windowStart = t
+	l.samples, l.failed, l.sumLatency = 0, 0, 0
+	l.peak = l.inflight
+}
+
+// maybeIdleReset decays the limit back to Initial after a quiet spell.
+// Caller holds l.mu.
+func (l *Limiter) maybeIdleReset(t time.Time) {
+	if l.cfg.IdleReset < 0 || t.Sub(l.lastSample) < l.cfg.IdleReset {
+		return
+	}
+	if l.limit != l.cfg.Initial {
+		l.limit = l.cfg.Initial
+		l.idleResets++
+	}
+	// Stale window data must not survive the reset: the next window
+	// starts from the reset, not from traffic that predates it.
+	l.windowStart = t
+	l.lastSample = t
+	l.samples, l.failed, l.sumLatency = 0, 0, 0
+	l.peak = l.inflight
+}
+
+// Limit returns the current concurrency limit.
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.maybeIdleReset(l.now())
+	return l.limit
+}
+
+// InFlight returns the number of currently held slots.
+func (l *Limiter) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// Stats returns the limiter's current counters and limit.
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.maybeIdleReset(l.now())
+	return LimiterStats{
+		Limit:      l.limit,
+		InFlight:   l.inflight,
+		Acquired:   l.acquired,
+		Rejected:   l.rejected,
+		Increases:  l.increases,
+		Decreases:  l.decreases,
+		IdleResets: l.idleResets,
+	}
+}

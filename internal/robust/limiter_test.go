@@ -1,0 +1,227 @@
+package robust
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestLimiter builds a limiter on the package's shared fakeClock
+// (see breaker_test.go) for deterministic adjustment windows.
+func newTestLimiter(cfg LimiterConfig) (*Limiter, *fakeClock) {
+	l := NewLimiter(cfg)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	l.now = clk.now
+	l.windowStart = clk.now()
+	l.lastSample = clk.now()
+	return l, clk
+}
+
+// window drives one full adjustment window: n completions of the given
+// latency/outcome with the inflight count pressed to whatever Acquire
+// admits, then a clock step past the window boundary and one closing
+// sample.
+func window(t *testing.T, l *Limiter, clk *fakeClock, lat time.Duration, ok bool, pressed bool) {
+	t.Helper()
+	n := 1
+	if pressed {
+		// Hold limit slots at once so the window's peak reaches the
+		// limit (the additive-increase precondition).
+		n = l.Limit()
+	}
+	held := 0
+	for i := 0; i < n; i++ {
+		if l.Acquire() {
+			held++
+		}
+	}
+	for i := 0; i < held-1; i++ {
+		l.Release(lat, ok)
+	}
+	clk.advance(l.cfg.Window + time.Millisecond)
+	if held > 0 {
+		l.Release(lat, ok) // closes the window
+	}
+}
+
+// TestLimiterTransitions is the table-driven state machine check: each
+// case drives windows of a given shape and asserts where the limit
+// lands.
+func TestLimiterTransitions(t *testing.T) {
+	target := 100 * time.Millisecond
+	cases := []struct {
+		name    string
+		cfg     LimiterConfig
+		windows int
+		lat     time.Duration
+		ok      bool
+		pressed bool
+		want    int
+	}{
+		{
+			name:    "over target decreases multiplicatively",
+			cfg:     LimiterConfig{Target: target, Initial: 100, Backoff: 0.5},
+			windows: 1, lat: 2 * target, ok: true, pressed: true,
+			want: 50,
+		},
+		{
+			name:    "repeated overload converges to floor",
+			cfg:     LimiterConfig{Target: target, Initial: 100, Floor: 4, Backoff: 0.5},
+			windows: 10, lat: 2 * target, ok: true, pressed: true,
+			want: 4,
+		},
+		{
+			name:    "under target with pressure increases additively",
+			cfg:     LimiterConfig{Target: target, Initial: 8, Ceiling: 64},
+			windows: 3, lat: target / 4, ok: true, pressed: true,
+			want: 11,
+		},
+		{
+			name:    "increase clamps at ceiling",
+			cfg:     LimiterConfig{Target: target, Initial: 8, Ceiling: 9},
+			windows: 5, lat: target / 4, ok: true, pressed: true,
+			want: 9,
+		},
+		{
+			name:    "under target without pressure holds",
+			cfg:     LimiterConfig{Target: target, Initial: 16, Ceiling: 64},
+			windows: 5, lat: target / 4, ok: true, pressed: false,
+			want: 16,
+		},
+		{
+			name:    "fast failures still decrease",
+			cfg:     LimiterConfig{Target: target, Initial: 32, Backoff: 0.5},
+			windows: 1, lat: target / 10, ok: false, pressed: true,
+			want: 16,
+		},
+		{
+			name:    "decrease near floor steps by at least one",
+			cfg:     LimiterConfig{Target: target, Initial: 2, Floor: 1, Backoff: 0.9},
+			windows: 1, lat: 2 * target, ok: true, pressed: true,
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, clk := newTestLimiter(tc.cfg)
+			for i := 0; i < tc.windows; i++ {
+				window(t, l, clk, tc.lat, tc.ok, tc.pressed)
+			}
+			if got := l.Limit(); got != tc.want {
+				t.Fatalf("limit = %d, want %d (stats %+v)", got, tc.want, l.Stats())
+			}
+		})
+	}
+}
+
+func TestLimiterAcquireRejectsOverLimit(t *testing.T) {
+	l, _ := newTestLimiter(LimiterConfig{Target: time.Second, Initial: 2, Ceiling: 2})
+	if !l.Acquire() || !l.Acquire() {
+		t.Fatal("limiter refused slots under the limit")
+	}
+	if l.Acquire() {
+		t.Fatal("limiter admitted a third slot over limit 2")
+	}
+	st := l.Stats()
+	if st.Rejected != 1 || st.Acquired != 2 || st.InFlight != 2 {
+		t.Fatalf("stats = %+v, want 2 acquired / 1 rejected / 2 in flight", st)
+	}
+	l.Release(time.Millisecond, true)
+	if !l.Acquire() {
+		t.Fatal("limiter refused a slot after a release freed one")
+	}
+}
+
+func TestLimiterIdleReset(t *testing.T) {
+	cfg := LimiterConfig{Target: 100 * time.Millisecond, Initial: 64, Floor: 2, Backoff: 0.5, IdleReset: 10 * time.Second}
+	l, clk := newTestLimiter(cfg)
+	for i := 0; i < 8; i++ {
+		window(t, l, clk, time.Second, true, true)
+	}
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit after sustained overload = %d, want floor 2", got)
+	}
+	// A quiet spell longer than IdleReset returns the limit to Initial:
+	// the overload evidence is stale.
+	clk.advance(cfg.IdleReset + time.Second)
+	if got := l.Limit(); got != 64 {
+		t.Fatalf("limit after idle = %d, want initial 64", got)
+	}
+	if st := l.Stats(); st.IdleResets != 1 {
+		t.Fatalf("idle resets = %d, want 1", st.IdleResets)
+	}
+}
+
+func TestLimiterIdleResetDisabled(t *testing.T) {
+	cfg := LimiterConfig{Target: 100 * time.Millisecond, Initial: 64, Floor: 2, Backoff: 0.5, IdleReset: -1}
+	l, clk := newTestLimiter(cfg)
+	for i := 0; i < 8; i++ {
+		window(t, l, clk, time.Second, true, true)
+	}
+	clk.advance(time.Hour)
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit after idle with decay disabled = %d, want 2", got)
+	}
+}
+
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Target: time.Second})
+	if got := l.Limit(); got != 1024 {
+		t.Fatalf("default initial limit = %d, want ceiling 1024", got)
+	}
+	// Initial outside [Floor, Ceiling] is clamped.
+	l = NewLimiter(LimiterConfig{Target: time.Second, Floor: 8, Ceiling: 16, Initial: 4})
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("clamped initial = %d, want floor 8", got)
+	}
+	l = NewLimiter(LimiterConfig{Target: time.Second, Ceiling: 16, Initial: 64})
+	if got := l.Limit(); got != 16 {
+		t.Fatalf("clamped initial = %d, want ceiling 16", got)
+	}
+}
+
+// TestLimiterHammer runs concurrent acquire/release/stat traffic under
+// the race detector: the invariant is that in-flight accounting never
+// goes negative or sticks, and the limit stays inside its clamps.
+func TestLimiterHammer(t *testing.T) {
+	l := NewLimiter(LimiterConfig{
+		Target:  50 * time.Microsecond,
+		Floor:   2,
+		Ceiling: 32,
+		Initial: 16,
+		Window:  time.Millisecond,
+	})
+	const goroutines = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if l.Acquire() {
+					// Mix latencies around the target so both branches of
+					// the control law run concurrently.
+					lat := time.Duration(i%100) * time.Microsecond
+					l.Release(lat, i%7 != 0)
+				}
+				if i%50 == 0 {
+					_ = l.Stats()
+					_ = l.Limit()
+					_ = l.InFlight()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("in flight after hammer = %d, want 0", st.InFlight)
+	}
+	if st.Limit < 2 || st.Limit > 32 {
+		t.Fatalf("limit %d escaped clamps [2,32]", st.Limit)
+	}
+	if st.Acquired == 0 {
+		t.Fatal("hammer acquired nothing")
+	}
+}

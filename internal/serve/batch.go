@@ -5,6 +5,7 @@ import (
 	"errors"
 	runtimemetrics "runtime/metrics"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -25,6 +26,12 @@ type job struct {
 	// clientSec is the client-reported SpMV seconds riding the request
 	// (0 = none), captured into the feedback log with the answer.
 	clientSec float64
+
+	// admitted marks a job holding an admission-limiter slot; released
+	// guards the release so racing completion paths (worker, shutdown
+	// sweep, overload) can never double-free it.
+	admitted bool
+	released atomic.Bool
 }
 
 type jobResult struct {
@@ -63,6 +70,12 @@ func (s *Server) finishJob(j *job, res jobResult) {
 	}
 	s.inflightMu.Unlock()
 	j.call.finish(res)
+	// Return the admission slot exactly once, feeding the limiter the
+	// job's whole time-in-system (queue wait included) — the latency the
+	// SLO is written against.
+	if j.admitted && s.adm != nil && j.released.CompareAndSwap(false, true) {
+		s.adm.finish(time.Since(j.enqueued), res.err == nil)
+	}
 	if j.cancel != nil {
 		j.cancel()
 	}
@@ -99,7 +112,25 @@ func (s *Server) dispatch() {
 		}
 		timer.Stop()
 		b := batch
-		if err := s.pool.Submit(func() { s.runBatch(b) }); err != nil {
+		// Autosizing: with the overload plane on, batches pass a dynamic
+		// gate sized to the admission limit before taking a pool worker.
+		// When the limit collapses, work concentrates onto fewer workers
+		// (fuller, more coherent batches); the gate reopens as the limit
+		// recovers. The gate only closes at shutdown.
+		if s.adm != nil && !s.adm.gate.acquire() {
+			s.answerAll(b, jobResult{err: errShutdown})
+			continue
+		}
+		err := s.pool.Submit(func() {
+			if s.adm != nil {
+				defer s.adm.gate.release()
+			}
+			s.runBatch(b)
+		})
+		if err != nil {
+			if s.adm != nil {
+				s.adm.gate.release()
+			}
 			s.answerAll(b, jobResult{err: errShutdown})
 		}
 	}
@@ -150,9 +181,24 @@ func (s *Server) runBatch(batch []*job) {
 	allocStart := heapAllocObjects()
 	var mirrored []shadowSample
 	for _, j := range batch {
+		// Evict expired work at dequeue: a job whose context died while
+		// queued (deadline spent, or the client hung up) gets its terminal
+		// answer now instead of a forward pass nobody is waiting for. Under
+		// overload this is the difference between burning the backlog and
+		// burning CPU on it.
+		if j.ctx.Err() != nil {
+			s.met.queueExpired.Inc()
+			s.finishJob(j, jobResult{err: errExpired})
+			answered++
+			continue
+		}
 		rungStart := time.Now()
 		pred, rung := s.ladderPredict(j.ctx, sel, j.m)
 		liveNs := time.Since(rungStart).Nanoseconds()
+		if s.adm != nil && rung == rungCNN {
+			// Feed the brownout controller the CNN rung's real cost.
+			s.adm.noteCNN(float64(liveNs) / 1e9)
+		}
 		j.tr.ObserveSpan("rung:"+rung, rungStart)
 		s.met.rungs.With(rungLabel(rung)).Inc()
 		if pred.FellBack {

@@ -162,8 +162,27 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	// The per-request deadline budget: parse, queueing and prediction
 	// together must finish inside RequestTimeout, so one slow request
-	// cannot occupy a worker indefinitely.
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	// cannot occupy a worker indefinitely. A router-propagated client
+	// deadline (X-Request-Deadline, unix milliseconds) tightens the
+	// budget further — the replica then sheds work the client has
+	// already given up on instead of computing answers into the void.
+	budget := s.cfg.RequestTimeout
+	if remaining, ok := headerDeadline(r); ok {
+		if remaining <= 0 {
+			code = http.StatusTooManyRequests
+			s.met.admissionRejects.With(`reason="expired"`).Inc()
+			if s.adm != nil {
+				s.adm.shed()
+			}
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeJSON(w, code, errorResponse{Error: "request deadline already expired"})
+			return
+		}
+		if remaining < budget {
+			budget = remaining
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
 	ctx = obs.WithTrace(ctx, tr)
 
@@ -192,10 +211,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			resp.Trace = tr.Spans()
 		}
 		writeJSON(w, code, resp)
-	case errors.Is(err, errOverloaded):
-		// Shed, not failed: tell the client when to come back.
+	case errors.Is(err, errOverloaded), errors.Is(err, errDeadlineTooTight), errors.Is(err, errExpired):
+		// Shed, not failed: tell the client when to come back. With the
+		// overload plane on, Retry-After is derived from the observed
+		// queue drain rate instead of a constant — clients back off for
+		// as long as the backlog actually needs.
 		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, code, errorResponse{Error: err.Error()})
 	case errors.Is(err, errShutdown):
 		code = http.StatusServiceUnavailable
@@ -223,6 +245,41 @@ func IngestStatus(err error) int {
 }
 
 func ingestStatus(err error) int { return IngestStatus(err) }
+
+// headerDeadline reads the router-propagated client deadline
+// (X-Request-Deadline, unix milliseconds) and returns the remaining
+// budget. ok is false when the header is absent or malformed — an
+// unparseable deadline is ignored, never a rejection.
+func headerDeadline(r *http.Request) (time.Duration, bool) {
+	v := r.Header.Get("X-Request-Deadline")
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false
+	}
+	return time.Until(time.UnixMilli(ms)), true
+}
+
+// retryAfter renders the Retry-After header for a shed response:
+// drain-rate derived when the overload plane is on, the legacy constant
+// otherwise.
+func (s *Server) retryAfter() string {
+	if s.adm != nil {
+		return strconv.Itoa(s.adm.retryAfterSeconds())
+	}
+	return "1"
+}
+
+// admitReasonLabel classifies an admission rejection for the
+// serve_admission_rejects_total counter.
+func admitReasonLabel(err error) string {
+	if errors.Is(err, errDeadlineTooTight) {
+		return `reason="deadline"`
+	}
+	return `reason="queue"`
+}
 
 // isRetryAttempt reports whether an X-Retry-Attempt header value names
 // a retry or hedge (attempt number >= 1; the first attempt is 0 or an

@@ -31,12 +31,29 @@ const (
 // the CNN rung without trying it.
 var errCNNOpen = errors.New("serve: cnn rung unavailable (breaker open)")
 
+// errBrownout is the recorded reason when the overload plane steps the
+// ladder down for capacity, not health: the CNN works fine, there is
+// just not enough of it for the offered load.
+var errBrownout = errors.New("serve: cnn rung browned out (overload)")
+
+// brownedOut reports whether the overload plane has stepped the ladder
+// down to the dtree rung. Always false without the plane or a tree.
+func (s *Server) brownedOut() bool {
+	return s.adm != nil && s.dtree != nil && s.adm.brownedOut()
+}
+
 // ladderPredict answers one request through the ladder. It always
 // returns an answer; the rung string says which layer produced it.
 // ctx carries the per-request deadline budget.
 func (s *Server) ladderPredict(ctx context.Context, sel *selector.Selector, m *sparse.COO) (selector.Prediction, string) {
 	var reason error
-	if s.breaker.Allow() {
+	if s.brownedOut() {
+		// Brownout: shed quality before availability. The breaker is
+		// deliberately untouched — this is a capacity decision, and it
+		// must not cost the CNN rung its health record.
+		s.met.brownoutShortCircuits.Inc()
+		reason = errBrownout
+	} else if s.breaker.Allow() {
 		pred, err := s.cnnOnce(ctx, sel, m)
 		switch {
 		case err == nil:

@@ -56,10 +56,19 @@ type metrics struct {
 	predictAllocs  *obs.Gauge // heap objects allocated per predict job, last batch
 	queueRejects   *obs.Counter
 	reloads        *obs.Counter
-	reloadFails    *obs.Counter
-	modelGen       *obs.Gauge
-	workerPanics   *obs.Gauge
-	inflight       atomic.Int64
+
+	// Overload-control instruments (see overload.go). The counters are
+	// always registered (they also cover the always-on dequeue eviction);
+	// the admission/SLO gauges appear only when the plane is enabled.
+	queueExpired          *obs.Counter    // jobs evicted unexecuted at dequeue
+	admissionRejects      *obs.CounterVec // sheds by reason (queue, deadline, expired)
+	brownoutState         *obs.Gauge      // 1 while browned out
+	brownoutTransitions   *obs.CounterVec // brownout transitions by target state
+	brownoutShortCircuits *obs.Counter    // requests stepped past the CNN by brownout
+	reloadFails           *obs.Counter
+	modelGen              *obs.Gauge
+	workerPanics          *obs.Gauge
+	inflight              atomic.Int64
 
 	// Degradation-ladder instruments (see ladder.go).
 	rungs                *obs.CounterVec // which ladder rung answered
@@ -113,6 +122,11 @@ func newMetrics() *metrics {
 	m.batchSize = r.Histogram("serve_batch_size", "Jobs coalesced per micro-batch.", obs.DefBatchBuckets())
 	m.predictAllocs = r.Gauge("serve_predict_allocs", "Heap objects allocated per predict job over the most recent micro-batch (process-wide delta: concurrent batches and background work inflate it).")
 	m.queueRejects = r.Counter("serve_queue_rejects_total", "Requests rejected because the batch queue was full.")
+	m.queueExpired = r.Counter("serve_queue_expired_total", "Jobs evicted unexecuted at dequeue because their deadline expired (or the client hung up) while queued.")
+	m.admissionRejects = r.CounterVec("serve_admission_rejects_total", "Requests shed by SLO-driven admission, by reason (queue, deadline, expired).")
+	m.brownoutState = r.Gauge("serve_brownout_state", "1 while the overload plane is answering from the dtree rung for capacity reasons.")
+	m.brownoutTransitions = r.CounterVec("serve_brownout_transitions_total", "Brownout transitions, by target state (engaged, normal).")
+	m.brownoutShortCircuits = r.Counter("serve_brownout_short_circuits_total", "Requests stepped past the CNN rung by the brownout controller.")
 
 	m.shadowLoaded = r.Gauge("serve_shadow_loaded", "1 while a shadow model is installed for mirrored inference.")
 	m.shadowLoads = r.Counter("serve_shadow_loads_total", "Shadow models accepted (checksummed load + probe passed).")
@@ -155,6 +169,34 @@ func (m *metrics) instrumentPool(p *robust.Pool) {
 	})
 	m.reg.GaugeFunc("serve_pool_queue_depth", "Tasks waiting in the prediction pool queue.", func() float64 {
 		return float64(p.Stats().Queued)
+	})
+}
+
+// instrumentAdmission exposes the overload-control plane: the adaptive
+// limit and its occupancy, the autosized worker count, the SLO window
+// (goodput and burn rate) and the drain-rate-derived Retry-After.
+// Registered only when Config.SLOTargetP99 enables the plane.
+func (m *metrics) instrumentAdmission(a *admission) {
+	m.reg.GaugeFunc("serve_admission_limit", "Current adaptive admission limit (jobs allowed in the system).", func() float64 {
+		return float64(a.lim.Limit())
+	})
+	m.reg.GaugeFunc("serve_admission_inflight", "Jobs currently holding an admission slot (queued + executing).", func() float64 {
+		return float64(a.lim.InFlight())
+	})
+	m.reg.GaugeFunc("serve_autosize_workers", "Autosized batch-worker parallelism (tracks the admission limit).", func() float64 {
+		return float64(a.effWorkers())
+	})
+	m.reg.GaugeFunc("serve_slo_target_seconds", "Configured p99 latency SLO target.", func() float64 {
+		return a.target.Seconds()
+	})
+	m.reg.GaugeFunc("serve_slo_goodput_rps", "In-SLO successful answers per second over the rolling window.", func() float64 {
+		return a.tracker.Snapshot().GoodputRPS
+	})
+	m.reg.GaugeFunc("serve_slo_burn_rate", "SLO error-budget burn rate over the rolling window (1.0 = spending exactly the budget).", func() float64 {
+		return a.tracker.Snapshot().BurnRate
+	})
+	m.reg.GaugeFunc("serve_retry_after_seconds", "Retry-After currently advised to shed clients (derived from queue drain rate).", func() float64 {
+		return float64(a.retryAfterSeconds())
 	})
 }
 

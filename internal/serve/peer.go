@@ -29,11 +29,17 @@ import (
 // serve.peer.error injection points.
 
 // CurrentRung reports which ladder rung would answer a request arriving
-// now: "cnn" while the breaker admits CNN traffic (closed or probing),
-// "dtree" while the breaker is open and the tree rung stands, "csr"
-// when the breaker is open and there is no tree — the hard-down state
-// /readyz turns into a 503.
+// now: "cnn" while the breaker admits CNN traffic (closed or probing)
+// and the overload plane is not browned out, "dtree" while the breaker
+// is open (or brownout engaged) and the tree rung stands, "csr" when
+// the breaker is open and there is no tree — the hard-down state
+// /readyz turns into a 503. A browned-out replica reports dtree so the
+// router's prober sees it as degraded-but-routable, exactly like an
+// open breaker.
 func (s *Server) CurrentRung() string {
+	if s.brownedOut() {
+		return rungDTree
+	}
 	if s.breaker.State() != robust.BreakerOpen {
 		return rungCNN
 	}

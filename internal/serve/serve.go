@@ -74,6 +74,13 @@ type Config struct {
 	// RequestTimeout is the per-request deadline budget covering parse,
 	// queueing and prediction (default 15s).
 	RequestTimeout time.Duration
+	// SLOTargetP99 enables the SLO-driven overload-control plane (see
+	// overload.go): adaptive admission sized to keep p99 job latency
+	// inside this target, deadline-aware enqueue, autosized batch
+	// workers, adaptive Retry-After and the brownout rung-step. Zero
+	// disables the plane entirely — fixed queue, static Retry-After —
+	// which is the zero-value default.
+	SLOTargetP99 time.Duration
 	// PredictTimeout bounds one CNN inference before the ladder counts
 	// it as a failure and degrades (default 2s).
 	PredictTimeout time.Duration
@@ -185,6 +192,7 @@ type Server struct {
 	traces  *obs.TraceLog
 	pool    *robust.Pool
 	jobs    chan *job
+	adm     *admission // overload-control plane (nil when SLOTargetP99 is 0)
 	quit    chan struct{}
 	dispWG  sync.WaitGroup
 	httpSrv atomic.Pointer[http.Server]
@@ -252,6 +260,21 @@ func New(cfg Config) (*Server, error) {
 		s.logf("serve: breaker %s -> %s", from, to)
 	}
 	s.met.instrumentBreaker(s.breaker)
+	if cfg.SLOTargetP99 > 0 {
+		s.adm = newAdmission(cfg)
+		s.adm.onBrownout = func(engaged bool) {
+			if engaged {
+				s.met.brownoutState.SetInt(1)
+				s.met.brownoutTransitions.With(`to="engaged"`).Inc()
+				s.logf("serve: brownout engaged (sustained SLO burn; stepping cnn -> dtree)")
+			} else {
+				s.met.brownoutState.SetInt(0)
+				s.met.brownoutTransitions.With(`to="normal"`).Inc()
+				s.logf("serve: brownout recovered (load fits cnn capacity again)")
+			}
+		}
+		s.met.instrumentAdmission(s.adm)
+	}
 	if err := s.Reload(); err != nil {
 		s.pool.Close()
 		return nil, fmt.Errorf("serve: initial model load: %w", err)
@@ -402,6 +425,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// on it would turn a bounded shutdown into an unbounded one, so
 		// the pool is abandoned (the process is exiting anyway).
 		close(s.quit)
+		if s.adm != nil {
+			s.adm.gate.close()
+		}
 		if drained {
 			s.dispWG.Wait()
 			s.pool.Close()
@@ -500,13 +526,30 @@ func (s *Server) predictOne(ctx context.Context, m *sparse.COO, meta *predictMet
 		}
 	}
 	j := &job{ctx: jctx, cancel: jcancel, m: m, fp: fp, tr: tr, enqueued: time.Now(), call: c, clientSec: meta.clientSec}
+	// SLO-driven admission (when enabled): the adaptive limiter decides
+	// whether this job may enter the system, and a request whose
+	// remaining deadline cannot cover the expected queue wait is shed
+	// here, while refusal is still cheap. The slot is released in
+	// finishJob with the job's observed latency, which is what drives
+	// the limit.
+	if s.adm != nil {
+		if aerr := s.adm.admit(ctx); aerr != nil {
+			s.met.queueRejects.Inc()
+			s.met.admissionRejects.With(admitReasonLabel(aerr)).Inc()
+			s.finishJob(j, jobResult{err: aerr})
+			return response{}, aerr
+		}
+		j.admitted = true
+	}
 	select {
 	case s.jobs <- j:
 	default:
 		// Admission control: a full queue sheds immediately (the
 		// handler answers 429 + Retry-After) instead of letting latency
 		// grow without bound under overload. Coalesced waiters shed
-		// with their leader.
+		// with their leader. With the adaptive plane on, the limiter
+		// (whose ceiling is the queue depth) sheds first, so this path
+		// is the legacy fixed-queue behaviour.
 		s.met.queueRejects.Inc()
 		s.finishJob(j, jobResult{err: errOverloaded})
 		return response{}, errOverloaded

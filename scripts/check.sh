@@ -76,6 +76,16 @@ else
     go run ./scripts/clusterdrill
 fi
 
+# Overload-control drill: router + two SLO-armed replicas, open-loop
+# Poisson surge at 5x measured capacity; goodput must hold >= 70% of
+# capacity with zero 5xx, brownout must engage under the surge and
+# disengage within 10s of the load dropping. See scripts/overloaddrill.
+if [[ "${SHORT:-0}" == "1" ]]; then
+    go run ./scripts/overloaddrill -short
+else
+    go run ./scripts/overloaddrill
+fi
+
 # Continual-learning drill: serve + shepherd on real binaries, shifted
 # traffic must trip the drift detector, a top-evolvement retrain must
 # shadow and promote through the probe-validated hot reload, and a

@@ -227,7 +227,7 @@ func run() error {
 		return fmt.Errorf("router never marked the dead victim down: %w", err)
 	}
 	_, page, _ := get(routerURL + "/metrics")
-	if metricSample(page, "router_retries_total")+metricSample(page, "router_failovers_total") == 0 {
+	if metricSum(page, "router_retries_total")+metricSample(page, "router_failovers_total") == 0 {
 		return fmt.Errorf("kill drill recorded no retries or failovers:\n%s", page)
 	}
 
@@ -369,4 +369,20 @@ func metricSample(page, series string) float64 {
 		}
 	}
 	return 0
+}
+
+// metricSum totals every series of a labeled metric family.
+func metricSum(page, name string) float64 {
+	var total float64
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		if i := strings.LastIndex(line, " "); i >= 0 {
+			var v float64
+			fmt.Sscanf(line[i+1:], "%g", &v)
+			total += v
+		}
+	}
+	return total
 }
